@@ -1,0 +1,51 @@
+// Ablation A — the slot-choice heuristic (paper §3's design argument).
+//
+// The naive rule "delay every segment as long as possible" (kLatest) makes
+// slot numbers with many divisors collect one instance of every divisor
+// segment — the paper's example: with one request per slot, slot 120!
+// carries all 120 segments. The Figure 6 heuristic (min load, ties late)
+// keeps the same average but caps the peaks. kEarliest destroys sharing
+// with future requests; kRandom balances load but gives away delay.
+//
+// Output: average and maximum bandwidth per heuristic at three arrival
+// rates, 99 segments.
+#include "bench_common.h"
+
+#include "core/dhb_simulator.h"
+#include "util/table.h"
+
+int main() {
+  using namespace vod;
+  using namespace vod::bench;
+
+  print_header("Ablation: DHB slot-choice heuristics (99 segments)",
+               "avg/max in multiples of the consumption rate b");
+
+  const SlotHeuristic heuristics[] = {
+      SlotHeuristic::kMinLoadLatest, SlotHeuristic::kLatest,
+      SlotHeuristic::kMinLoadEarliest, SlotHeuristic::kEarliest,
+      SlotHeuristic::kRandom};
+
+  for (const double rate : {10.0, 100.0, 1000.0}) {
+    std::printf("-- %.0f requests/hour --\n", rate);
+    Table table({"heuristic", "avg", "max", "client buffer (seg)"});
+    for (const SlotHeuristic h : heuristics) {
+      DhbConfig dhb;
+      dhb.heuristic = h;
+      const SlottedSimResult r = run_dhb_simulation(dhb, slotted_config(rate));
+      table.add_row({to_string(h), format_double(r.avg_streams, 2),
+                     format_double(r.max_streams, 0),
+                     std::to_string(r.max_client_buffer_segments)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape checks: 'latest' matches min-load-latest on average but its\n"
+      "maximum grows with the rate (divisor-alignment spikes); 'earliest'\n"
+      "pays more average bandwidth at every rate (no future sharing) AND\n"
+      "needs a whole-video client buffer; the paper heuristic keeps both\n"
+      "the server peak and the STB storage in check.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation B — segment-count sweep: the wait-bandwidth trade-off.
+//
+// More segments shorten the maximum waiting time (d = D/n) but raise the
+// saturation bandwidth (~ H_n) and the client's stream concurrency. The
+// paper fixes n = 99 (73 s wait on a two-hour video); this sweep shows
+// where that sits on the curve.
+#include "bench_common.h"
+
+#include "core/dhb_simulator.h"
+#include "protocols/harmonic.h"
+#include "protocols/npb.h"
+#include "util/table.h"
+
+int main() {
+  using namespace vod;
+  using namespace vod::bench;
+
+  print_header("Ablation: DHB segment count (two-hour video)",
+               "max wait = slot duration; H_n = saturation floor");
+
+  for (const double rate : {20.0, 500.0}) {
+    std::printf("-- %.0f requests/hour --\n", rate);
+    Table table({"segments", "max wait (s)", "avg", "max", "H_n",
+                 "NPB streams", "client streams"});
+    for (const int n : {9, 25, 49, 99, 199}) {
+      DhbConfig dhb;
+      dhb.num_segments = n;
+      SlottedSimConfig sim = slotted_config(rate);
+      sim.video.num_segments = n;
+      const SlottedSimResult r = run_dhb_simulation(dhb, sim);
+      table.add_row({std::to_string(n),
+                     format_double(sim.video.slot_duration_s(), 1),
+                     format_double(r.avg_streams, 2),
+                     format_double(r.max_streams, 0),
+                     format_double(harmonic_number(n), 2),
+                     std::to_string(NpbMapping::streams_for(n)),
+                     std::to_string(r.max_client_streams)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape checks: avg grows ~ H_n with n at high rates; DHB's avg stays\n"
+      "below the NPB stream count at every n; shorter waits cost streams.\n");
+  return 0;
+}

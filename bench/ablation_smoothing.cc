@@ -1,0 +1,57 @@
+// Ablation D — eliminating bandwidth peaks with client buffer (§5 future
+// work: "investigate how we could reduce or eliminate bandwidth peaks
+// without increasing the average video bandwidth"; §4 cites Salehi et
+// al.'s smoothing by work-ahead).
+//
+// For the synthetic Matrix trace: the optimal (taut-string) transmission
+// peak as a function of the STB buffer, against the §4 reference rates
+// (DHB-a's 951 peak-provisioning, DHB-b's 822 per-segment rate, DHB-c/d's
+// 671 constant work-ahead rate) and the whole-video average slope — the
+// floor no buffer can beat on this front-loaded movie.
+#include <cstdio>
+
+#include "util/table.h"
+#include "vbr/optimal_smoothing.h"
+#include "vbr/segmentation.h"
+#include "vbr/smoothing.h"
+#include "vbr/synthetic.h"
+
+int main() {
+  using namespace vod;
+
+  const VbrTrace trace = generate_synthetic_vbr(SyntheticVbrParams{});
+  const double d = 8170.0 / 137.0;
+  const double delay = 60.0;
+
+  std::printf("== Smoothing peaks with client buffer (synthetic Matrix) ==\n");
+  std::printf(
+      "reference rates: 1s peak %.0f | DHB-b %.0f | DHB-c/d %.0f | mean %.0f "
+      "KB/s\n\n",
+      trace.peak_rate_kbs(1), max_segment_rate_kbs(trace, d),
+      min_workahead_rate_kbs(trace, d), trace.mean_rate_kbs());
+
+  Table table({"STB buffer (MB)", "peak rate (KB/s)", "rate changes",
+               "peak / mean"});
+  for (const double mb : {2.0, 8.0, 32.0, 64.0, 128.0, 256.0, 512.0}) {
+    const SmoothingPlan plan =
+        optimal_smoothing_plan(trace, mb * 1000.0, delay);
+    if (!verify_smoothing_plan(trace, mb * 1000.0, delay, plan)) {
+      std::printf("INTERNAL ERROR: infeasible plan at %.0f MB\n", mb);
+      return 1;
+    }
+    table.add_row({format_double(mb, 0),
+                   format_double(plan.peak_rate_kbs(), 0),
+                   std::to_string(plan.rate_changes()),
+                   format_double(plan.peak_rate_kbs() / trace.mean_rate_kbs(),
+                                 3)});
+  }
+  table.print();
+
+  std::printf(
+      "\nShape checks: the peak falls monotonically with buffer, from near\n"
+      "the 1 s peak down to the whole-video average slope (the 60 s start-up\n"
+      "delay even relaxes the DHB-c prefix bound); tens of MB of year-2001\n"
+      "STB buffer already remove most of the VBR penalty — the §4 result,\n"
+      "generalized across buffer sizes.\n");
+  return 0;
+}

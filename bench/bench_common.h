@@ -1,0 +1,45 @@
+// Shared helpers for the figure/table regeneration binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/dhb_simulator.h"
+#include "protocols/stream_tapping.h"
+
+namespace vod::bench {
+
+// The arrival-rate grid of the paper's Figures 7-9 (requests/hour, log-ish).
+inline std::vector<double> paper_rates() {
+  return {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0};
+}
+
+// Simulation lengths chosen so every point has thousands of events but the
+// whole sweep stays interactive: long runs at low rates (few arrivals per
+// hour), shorter at high rates (plenty of arrivals anyway).
+inline SlottedSimConfig slotted_config(double requests_per_hour) {
+  SlottedSimConfig sim;
+  sim.requests_per_hour = requests_per_hour;
+  sim.warmup_hours = 8.0;
+  sim.measured_hours = requests_per_hour < 10.0 ? 400.0 : 150.0;
+  sim.seed = 20010416;  // ICDCS 2001, Mesa AZ, April 16
+  return sim;
+}
+
+inline TappingConfig tapping_config(double requests_per_hour,
+                                    TappingMode mode) {
+  TappingConfig c;
+  c.requests_per_hour = requests_per_hour;
+  c.warmup_hours = 8.0;
+  c.measured_hours = requests_per_hour < 10.0 ? 400.0 : 150.0;
+  c.seed = 20010416;
+  c.mode = mode;
+  return c;
+}
+
+inline void print_header(const std::string& title, const std::string& notes) {
+  std::printf("== %s ==\n%s\n\n", title.c_str(), notes.c_str());
+}
+
+}  // namespace vod::bench

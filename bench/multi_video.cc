@@ -1,0 +1,65 @@
+// Multi-video server — §4's closing observation quantified: "the empty
+// slots could be shared by other videos". A 20-video catalog with Zipf
+// popularity under one aggregate request stream, served per-video by
+//
+//   static  : always-on NPB broadcast (6 streams/video, demand-blind)
+//   dhb     : a DHB scheduler per video (the paper's protocol)
+//   hybrid  : NPB for the top-3 ranks, DHB for the tail
+//
+// Output: aggregate average/peak bandwidth per policy across total rates,
+// plus the per-rank breakdown at one operating point.
+#include <cstdio>
+
+#include "protocols/npb.h"
+#include "server/multi_video.h"
+#include "util/table.h"
+
+int main() {
+  using namespace vod;
+
+  std::printf("== Multi-video server: 20 videos, Zipf(0.729) popularity ==\n");
+  std::printf("bandwidth in streams (multiples of b); NPB/video = %d\n\n",
+              NpbMapping::streams_for(99));
+
+  MultiVideoConfig base;
+  base.catalog_size = 20;
+  base.warmup_hours = 6.0;
+  base.measured_hours = 100.0;
+
+  Table table({"total req/h", "static avg", "static max", "dhb avg",
+               "dhb max", "hybrid avg", "hybrid max"});
+  for (const double rate : {20.0, 100.0, 500.0, 2000.0, 10000.0}) {
+    MultiVideoConfig c = base;
+    c.total_requests_per_hour = rate;
+    c.policy = VideoPolicy::kStatic;
+    const MultiVideoResult s = run_multi_video_simulation(c);
+    c.policy = VideoPolicy::kDhb;
+    const MultiVideoResult d = run_multi_video_simulation(c);
+    c.policy = VideoPolicy::kHybrid;
+    const MultiVideoResult h = run_multi_video_simulation(c);
+    table.add_numeric_row({rate, s.avg_streams, s.max_streams, d.avg_streams,
+                           d.max_streams, h.avg_streams, h.max_streams},
+                          1);
+  }
+  table.print();
+
+  std::printf("\n-- per-rank breakdown at 500 total req/h (DHB policy) --\n");
+  MultiVideoConfig c = base;
+  c.total_requests_per_hour = 500.0;
+  c.policy = VideoPolicy::kDhb;
+  const MultiVideoResult r = run_multi_video_simulation(c);
+  Table ranks({"rank", "requests", "avg streams"});
+  for (int v = 0; v < c.catalog_size; v += (v < 4 ? 1 : 5)) {
+    ranks.add_row({std::to_string(v + 1),
+                   std::to_string(r.per_video_requests[static_cast<size_t>(v)]),
+                   format_double(r.per_video_avg[static_cast<size_t>(v)], 2)});
+  }
+  ranks.print();
+
+  std::printf(
+      "\nShape checks: static is flat and demand-blind; DHB tracks demand\n"
+      "(large savings except at extreme aggregate load); hybrid sits\n"
+      "between and loses to pure DHB at every rate — dynamic scheduling of\n"
+      "the hot head is exactly where DHB earns its keep.\n");
+  return 0;
+}

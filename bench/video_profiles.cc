@@ -1,0 +1,70 @@
+// §5 future work, item 1: "apply our DHB protocol to other videos in order
+// to learn how its performance is affected by the individual
+// characteristics of each video."
+//
+// Runs the full §4 pipeline (DHB-a..d derivation) over four content
+// profiles and prints the derived rates, segment counts and frequency
+// slack side by side. The interesting dimension is how much each
+// optimization step is worth per content class:
+//   * action  — sustained high rate: b/c/d all collapse toward a (little
+//     to smooth);
+//   * drama   — nearly CBR: everything collapses toward the mean;
+//   * documentary (back-loaded) — work-ahead shines: the c rate drops to
+//     the global mean and most segments can wait many slots.
+#include <cstdio>
+
+#include "util/table.h"
+#include "vbr/synthetic.h"
+#include "vbr/variants.h"
+
+int main() {
+  using namespace vod;
+
+  std::printf("== DHB variants across video profiles (60 s wait bound) ==\n");
+  std::printf("rates in KB/s; delay = max extra slots a segment can wait\n\n");
+
+  Table table({"profile", "dur(s)", "mean", "peak(a)", "b", "c", "c/mean",
+               "segs a->c", "delayed", "max delay"});
+
+  struct Profile {
+    const char* name;
+    SyntheticVbrParams params;
+  };
+  const Profile profiles[] = {
+      {"matrix", matrix_profile()},
+      {"action", action_profile()},
+      {"drama", drama_profile()},
+      {"documentary", documentary_profile()},
+  };
+
+  for (const Profile& p : profiles) {
+    const VbrTrace trace = generate_synthetic_vbr(p.params);
+    const VariantAnalysis va = analyze_variants(trace, 60.0);
+    int delayed = 0, max_delay = 0;
+    for (size_t k = 0; k < va.d.periods.size(); ++k) {
+      const int delay = va.d.periods[k] - static_cast<int>(k + 1);
+      if (delay > 0) ++delayed;
+      max_delay = std::max(max_delay, delay);
+    }
+    table.add_row(
+        {p.name, std::to_string(trace.duration_s()),
+         format_double(trace.mean_rate_kbs(), 0),
+         format_double(va.peak_rate_kbs, 0),
+         format_double(va.segment_rate_kbs, 0),
+         format_double(va.workahead_rate_kbs, 0),
+         format_double(va.workahead_rate_kbs / trace.mean_rate_kbs(), 3),
+         std::to_string(va.a.num_segments) + "->" +
+             std::to_string(va.c.num_segments),
+         std::to_string(delayed) + "/" + std::to_string(va.d.num_segments),
+         std::to_string(max_delay)});
+  }
+  table.print();
+
+  std::printf(
+      "\nShape checks: the drama is near-CBR (c/mean ~ 1, few delays); the\n"
+      "action movie leaves smoothing little headroom (peak close to b and\n"
+      "c); the back-loaded documentary smooths all the way to its mean and\n"
+      "delays nearly every segment — confirming §4's conclusion that\n"
+      "tuning to the video beats switching protocols.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Compressed video walkthrough — the paper's §4 pipeline end to end.
+//
+// Generates the synthetic stand-in for the DVD trace of The Matrix,
+// derives the four DHB implementations (DHB-a .. DHB-d) exactly as §4
+// does, prints every derived parameter next to the paper's value, and
+// writes the trace to matrix_trace.csv for inspection.
+//
+// Build & run:   cmake --build build && ./build/examples/compressed_video
+#include <cstdio>
+
+#include "vbr/segmentation.h"
+#include "vbr/smoothing.h"
+#include "vbr/synthetic.h"
+#include "vbr/variants.h"
+
+using namespace vod;
+
+int main() {
+  const VbrTrace trace = generate_synthetic_vbr(SyntheticVbrParams{});
+  std::printf(
+      "Synthetic VBR trace (stand-in for The Matrix, see DESIGN.md):\n"
+      "  duration  : %d s            (paper: 8170 s)\n"
+      "  mean rate : %.1f KB/s        (paper: 636 KB/s)\n"
+      "  1 s peak  : %.1f KB/s        (paper: 951 KB/s)\n\n",
+      trace.duration_s(), trace.mean_rate_kbs(), trace.peak_rate_kbs(1));
+
+  const VariantAnalysis va = analyze_variants(trace, 60.0);
+  std::printf("Target maximum waiting time: 60 s -> slot d = %.2f s\n\n",
+              va.slot_s);
+
+  std::printf(
+      "DHB-a  (peak-rate provisioning)\n"
+      "  %d segments @ %.0f KB/s            (paper: 137 @ 951)\n",
+      va.a.num_segments, va.a.stream_rate_kbs);
+  std::printf(
+      "DHB-b  (deterministic waiting time: each segment fully delivered one\n"
+      "        slot ahead; stream rate = max per-segment average)\n"
+      "  %d segments @ %.0f KB/s            (paper: 137 @ 789)\n",
+      va.b.num_segments, va.b.stream_rate_kbs);
+  std::printf(
+      "DHB-c  (smoothing by work-ahead: back-to-back segments at the\n"
+      "        minimum feasible constant rate)\n"
+      "  %d segments @ %.0f KB/s            (paper: 129 @ 671)\n",
+      va.c.num_segments, va.c.stream_rate_kbs);
+
+  std::printf("DHB-d  (adjusted minimum transmission frequencies)\n  T[k]: ");
+  for (int k = 1; k <= 12; ++k) {
+    std::printf("%d ", va.d.periods[static_cast<size_t>(k - 1)]);
+  }
+  std::printf("... %d (last)\n", va.d.periods.back());
+  int delayed = 0, max_delay = 0;
+  for (size_t k = 0; k < va.d.periods.size(); ++k) {
+    const int delay = va.d.periods[k] - static_cast<int>(k + 1);
+    if (delay > 0) ++delayed;
+    max_delay = std::max(max_delay, delay);
+  }
+  std::printf(
+      "  %d of %d segments can be delayed (max %d slots); T[2]=%d, T[3]=%d\n"
+      "  (paper: nearly all delayed by 1-8 slots; S2 every 3 slots, S3\n"
+      "   still every 3 slots, S1 every slot)\n\n",
+      delayed, va.d.num_segments, max_delay, va.d.periods[1], va.d.periods[2]);
+
+  const double buffer_kb =
+      workahead_buffer_kb(trace, va.slot_s, va.workahead_rate_kbs);
+  std::printf(
+      "STB buffer implied by work-ahead: %.0f KB (%.1f minutes of mean-rate "
+      "video)\n",
+      buffer_kb, buffer_kb / trace.mean_rate_kbs() / 60.0);
+
+  if (trace.save_csv("matrix_trace.csv")) {
+    std::printf("Trace written to matrix_trace.csv\n");
+  }
+  return 0;
+}

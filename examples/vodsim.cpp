@@ -1,0 +1,169 @@
+// vodsim — command-line driver for the simulation library.
+//
+// Usage:
+//   vodsim [--protocol dhb|ud|dnpb|dsb|tapping|patching|merging|catching|
+//                      batching]
+//          [--rate R]        requests/hour            (default 50)
+//          [--segments N]    segments / slot count    (default 99)
+//          [--duration S]    video length in seconds  (default 7200)
+//          [--hours H]       measured hours           (default 100)
+//          [--seed S]        RNG seed                 (default 42)
+//
+// Prints average/maximum bandwidth and protocol-specific diagnostics.
+// Exit code 0 on success, 2 on bad usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/dhb_simulator.h"
+#include "protocols/batching.h"
+#include "protocols/npb.h"
+#include "protocols/on_demand.h"
+#include "protocols/patching.h"
+#include "protocols/selective_catching.h"
+#include "protocols/skyscraper.h"
+#include "protocols/stream_tapping.h"
+#include "protocols/ud.h"
+
+using namespace vod;
+
+namespace {
+
+struct Options {
+  std::string protocol = "dhb";
+  double rate = 50.0;
+  int segments = 99;
+  double duration = 7200.0;
+  double hours = 100.0;
+  uint64_t seed = 42;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--protocol dhb|ud|dnpb|dsb|tapping|patching|"
+               "merging|catching|batching]\n"
+               "          [--rate R] [--segments N] [--duration S] "
+               "[--hours H] [--seed S]\n",
+               argv0);
+  return 2;
+}
+
+bool parse(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) return false;
+    const char* value = argv[++i];
+    if (flag == "--protocol") {
+      opt->protocol = value;
+    } else if (flag == "--rate") {
+      opt->rate = std::atof(value);
+    } else if (flag == "--segments") {
+      opt->segments = std::atoi(value);
+    } else if (flag == "--duration") {
+      opt->duration = std::atof(value);
+    } else if (flag == "--hours") {
+      opt->hours = std::atof(value);
+    } else if (flag == "--seed") {
+      opt->seed = static_cast<uint64_t>(std::atoll(value));
+    } else {
+      return false;
+    }
+  }
+  return opt->rate > 0 && opt->segments > 0 && opt->duration > 0 &&
+         opt->hours > 0;
+}
+
+void report(const char* name, double avg, double max, uint64_t requests) {
+  std::printf("%-10s avg %.3f streams   max %.0f streams   (%llu requests)\n",
+              name, avg, max, static_cast<unsigned long long>(requests));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, &opt)) return usage(argv[0]);
+
+  SlottedSimConfig sim;
+  sim.video.duration_s = opt.duration;
+  sim.video.num_segments = opt.segments;
+  sim.requests_per_hour = opt.rate;
+  sim.warmup_hours = 2.0 * opt.duration / 3600.0;
+  sim.measured_hours = opt.hours;
+  sim.seed = opt.seed;
+
+  TappingConfig tap;
+  tap.video_duration_s = opt.duration;
+  tap.requests_per_hour = opt.rate;
+  tap.warmup_hours = sim.warmup_hours;
+  tap.measured_hours = opt.hours;
+  tap.seed = opt.seed;
+
+  std::printf("video %.0f s, %d segments (max wait %.1f s), %.1f req/h, "
+              "%.0f measured hours\n\n",
+              opt.duration, opt.segments, sim.video.slot_duration_s(),
+              opt.rate, opt.hours);
+
+  if (opt.protocol == "dhb") {
+    DhbConfig dhb;
+    dhb.num_segments = opt.segments;
+    const SlottedSimResult r = run_dhb_simulation(dhb, sim);
+    report("DHB", r.avg_streams, r.max_streams, r.requests);
+    std::printf("           sharing %.1f%%, playout %s, client <= %d "
+                "streams / %d buffered segments\n",
+                100.0 * r.shared_fraction, r.playout_ok ? "ok" : "VIOLATED",
+                r.max_client_streams, r.max_client_buffer_segments);
+  } else if (opt.protocol == "ud") {
+    const SlottedSimResult r = run_ud_simulation(sim);
+    report("UD", r.avg_streams, r.max_streams, r.requests);
+    std::printf("           closed form %.3f streams\n",
+                ud_expected_bandwidth(sim.video, opt.rate));
+  } else if (opt.protocol == "dnpb") {
+    const auto mapping =
+        NpbMapping::build(NpbMapping::streams_for(opt.segments), opt.segments);
+    const SlottedSimResult r = run_on_demand_simulation(*mapping, sim);
+    report("dyn-NPB", r.avg_streams, r.max_streams, r.requests);
+  } else if (opt.protocol == "dsb") {
+    const SbMapping mapping(opt.segments);
+    const SlottedSimResult r = run_on_demand_simulation(mapping, sim);
+    report("dyn-SB", r.avg_streams, r.max_streams, r.requests);
+  } else if (opt.protocol == "tapping" || opt.protocol == "patching" ||
+             opt.protocol == "merging") {
+    tap.mode = opt.protocol == "tapping" ? TappingMode::kStreamTapping
+               : opt.protocol == "patching" ? TappingMode::kPatching
+                                            : TappingMode::kIdealMerging;
+    const TappingResult r = run_tapping_simulation(tap);
+    report(opt.protocol.c_str(), r.avg_streams, r.max_streams, r.requests);
+    std::printf("           restart threshold %.0f s, %llu originals, "
+                "avg patch %.0f s\n",
+                r.restart_threshold_s,
+                static_cast<unsigned long long>(r.originals), r.avg_cost_s);
+  } else if (opt.protocol == "catching") {
+    SelectiveCatchingConfig sc;
+    sc.video_duration_s = opt.duration;
+    sc.requests_per_hour = opt.rate;
+    sc.warmup_hours = tap.warmup_hours;
+    sc.measured_hours = opt.hours;
+    sc.seed = opt.seed;
+    const SelectiveCatchingResult r = run_selective_catching_simulation(sc);
+    report("catching", r.avg_streams, r.max_streams, r.requests);
+    std::printf("           %d dedicated broadcast channels\n",
+                r.broadcast_channels);
+  } else if (opt.protocol == "batching") {
+    BatchingConfig bc;
+    bc.video_duration_s = opt.duration;
+    bc.batch_interval_s = sim.video.slot_duration_s();
+    bc.requests_per_hour = opt.rate;
+    bc.warmup_hours = tap.warmup_hours;
+    bc.measured_hours = opt.hours;
+    bc.seed = opt.seed;
+    const BatchingResult r = run_batching_simulation(bc);
+    report("batching", r.avg_streams, r.max_streams, r.requests);
+    std::printf("           %llu multicast streams started\n",
+                static_cast<unsigned long long>(r.streams_started));
+  } else {
+    return usage(argv[0]);
+  }
+  return 0;
+}

@@ -1,0 +1,234 @@
+#include "core/dhb.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace vod {
+namespace {
+
+// Resolves the period vector: empty config means the CBR base protocol
+// T[j] = j (the window of the paper's Figure 6).
+std::vector<int> resolve_periods(const DhbConfig& config) {
+  std::vector<int> t = config.periods;
+  if (t.empty()) {
+    t.resize(static_cast<size_t>(config.num_segments));
+    for (int j = 1; j <= config.num_segments; ++j) {
+      t[static_cast<size_t>(j - 1)] = j;
+    }
+  }
+  VOD_CHECK_MSG(static_cast<int>(t.size()) == config.num_segments,
+                "periods vector must have one entry per segment");
+  VOD_CHECK_MSG(t[0] == 1, "T[1] must be 1: S_1 is needed in the next slot");
+  for (int v : t) VOD_CHECK_MSG(v >= 1, "periods must be positive");
+  return t;
+}
+
+}  // namespace
+
+DhbScheduler::DhbScheduler(const DhbConfig& config)
+    : config_(config),
+      periods_(resolve_periods(config)),
+      window_(*std::max_element(periods_.begin(), periods_.end())),
+      schedule_(config.num_segments, window_),
+      rng_(config.heuristic_seed) {
+  VOD_CHECK(config.num_segments >= 1);
+  VOD_CHECK(config.client_stream_cap >= 0);
+}
+
+std::optional<Slot> DhbScheduler::choose_capped_slot(
+    Slot lo, Slot hi, const std::vector<int>& client_load,
+    Slot arrival) const {
+  // Capped mode always applies the paper's min-load-latest rule, restricted
+  // to slots where this client can still open a stream.
+  std::optional<Slot> best;
+  int best_load = 0;
+  for (Slot s = hi; s >= lo; --s) {
+    if (client_load[static_cast<size_t>(s - arrival - 1)] >=
+        config_.client_stream_cap) {
+      continue;
+    }
+    const int m = schedule_.load(s);
+    if (!best || m < best_load) {
+      best = s;
+      best_load = m;
+    }
+  }
+  return best;
+}
+
+DhbRequestResult DhbScheduler::on_request() {
+  return admit(1, config_.num_segments);
+}
+
+DhbRequestResult DhbScheduler::on_resume(Segment first_segment) {
+  return admit(first_segment, config_.num_segments);
+}
+
+DhbRequestResult DhbScheduler::on_range(Segment first_segment,
+                                        Segment last_segment) {
+  return admit(first_segment, last_segment);
+}
+
+std::vector<int> DhbScheduler::resume_periods(Segment first_segment) const {
+  VOD_CHECK(first_segment >= 1 && first_segment <= config_.num_segments);
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(config_.num_segments - first_segment + 1));
+  for (Segment j = first_segment; j <= config_.num_segments; ++j) {
+    out.push_back(std::min(periods_[static_cast<size_t>(j - 1)],
+                           static_cast<int>(j - first_segment + 1)));
+  }
+  return out;
+}
+
+DhbRequestResult DhbScheduler::admit(Segment first_segment,
+                                     Segment last_segment) {
+  VOD_CHECK(first_segment >= 1 && first_segment <= config_.num_segments);
+  VOD_CHECK(last_segment >= first_segment &&
+            last_segment <= config_.num_segments);
+  const Slot arrival = schedule_.now();
+  const int n = last_segment;
+  const int cap = config_.client_stream_cap;
+
+  DhbRequestResult result;
+  result.plan.arrival_slot = arrival;
+  result.plan.reception_slot.resize(
+      static_cast<size_t>(n - first_segment + 1));
+
+  // Client reception load per window slot (capped mode only); index k is
+  // slot arrival + 1 + k.
+  std::vector<int> client_load;
+  if (cap > 0) client_load.assign(static_cast<size_t>(window_), 0);
+
+  for (Segment j = first_segment; j <= n; ++j) {
+    const Slot lo = arrival + 1;
+    // Full requests use the configured windows (which may exceed j under
+    // §4 work-ahead). A resume watches S_j during slot
+    // arrival + j - first + 1, so its deadline conservatively clamps the
+    // window (work-ahead surplus is not assumed for mid-video joins).
+    const int period =
+        first_segment == 1
+            ? periods_[static_cast<size_t>(j - 1)]
+            : std::min(periods_[static_cast<size_t>(j - 1)],
+                       static_cast<int>(j - first_segment + 1));
+    const Slot hi = arrival + period;
+    total_slot_probes_ += static_cast<uint64_t>(hi - lo + 1);
+
+    Slot chosen = 0;
+    bool is_new = false;
+
+    if (cap == 0) {
+      if (std::optional<Slot> shared = schedule_.find_instance(j, lo, hi)) {
+        chosen = *shared;
+      } else {
+        chosen = choose_slot(config_.heuristic, schedule_, lo, hi, &rng_);
+        is_new = true;
+      }
+    } else {
+      // Prefer sharing an instance in a slot with remaining client capacity
+      // (latest such instance: least buffering, most future sharing).
+      const std::vector<Slot>& existing = schedule_.instances_of(j);
+      for (auto it = existing.rbegin(); it != existing.rend(); ++it) {
+        if (*it < lo || *it > hi) continue;
+        if (client_load[static_cast<size_t>(*it - lo)] < cap) {
+          chosen = *it;
+          break;
+        }
+      }
+      if (chosen == 0) {
+        if (std::optional<Slot> fresh =
+                choose_capped_slot(lo, hi, client_load, arrival)) {
+          chosen = *fresh;
+          is_new = true;
+        } else {
+          // The cap cannot be honoured anywhere in the window. Fall back to
+          // the uncapped rule and record the violation: the plan stays
+          // deadline-correct but the STB needs > cap streams for one slot.
+          ++result.cap_violations;
+          if (std::optional<Slot> shared = schedule_.find_instance(j, lo, hi)) {
+            chosen = *shared;
+          } else {
+            chosen = choose_slot(SlotHeuristic::kMinLoadLatest, schedule_, lo,
+                                 hi, &rng_);
+            is_new = true;
+          }
+        }
+      }
+    }
+
+    if (is_new) {
+      schedule_.add_instance(j, chosen);
+      ++result.new_instances;
+    } else {
+      ++result.shared_instances;
+    }
+    if (cap > 0) ++client_load[static_cast<size_t>(chosen - lo)];
+    result.plan.reception_slot[static_cast<size_t>(j - first_segment)] =
+        chosen;
+  }
+
+  ++total_requests_;
+  total_new_instances_ += static_cast<uint64_t>(result.new_instances);
+  total_shared_ += static_cast<uint64_t>(result.shared_instances);
+  return result;
+}
+
+std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
+    int channel_cap) {
+  VOD_CHECK(channel_cap >= 1);
+  VOD_CHECK_MSG(config_.client_stream_cap == 0,
+                "bounded admission assumes unlimited client bandwidth");
+  const Slot arrival = schedule_.now();
+  const int n = config_.num_segments;
+
+  // Tentative additions per window slot; nothing touches the schedule
+  // until every segment has found a home.
+  std::vector<int> added(static_cast<size_t>(window_), 0);
+  std::vector<std::pair<Segment, Slot>> placements;
+  placements.reserve(static_cast<size_t>(n));
+
+  DhbRequestResult result;
+  result.plan.arrival_slot = arrival;
+  result.plan.reception_slot.resize(static_cast<size_t>(n));
+
+  for (Segment j = 1; j <= n; ++j) {
+    const Slot lo = arrival + 1;
+    const Slot hi = arrival + periods_[static_cast<size_t>(j - 1)];
+    total_slot_probes_ += static_cast<uint64_t>(hi - lo + 1);
+
+    Slot chosen = 0;
+    if (std::optional<Slot> shared = schedule_.find_instance(j, lo, hi)) {
+      chosen = *shared;
+      ++result.shared_instances;
+    } else {
+      // Min-load-latest over slots still under the channel cap, counting
+      // this request's own tentative placements.
+      int best_load = channel_cap;
+      for (Slot s = hi; s >= lo; --s) {
+        const int load =
+            schedule_.load(s) + added[static_cast<size_t>(s - lo)];
+        if (load < best_load) {
+          best_load = load;
+          chosen = s;
+        }
+      }
+      if (chosen == 0) return std::nullopt;  // would exceed the cap
+      ++added[static_cast<size_t>(chosen - lo)];
+      placements.push_back({j, chosen});
+      ++result.new_instances;
+    }
+    result.plan.reception_slot[static_cast<size_t>(j - 1)] = chosen;
+  }
+
+  for (const auto& [segment, slot] : placements) {
+    schedule_.add_instance(segment, slot);
+  }
+  ++total_requests_;
+  total_new_instances_ += static_cast<uint64_t>(result.new_instances);
+  total_shared_ += static_cast<uint64_t>(result.shared_instances);
+  return result;
+}
+
+std::vector<Segment> DhbScheduler::advance_slot() { return schedule_.advance(); }
+
+}  // namespace vod

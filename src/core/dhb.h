@@ -1,0 +1,130 @@
+// The Dynamic Heuristic Broadcasting protocol (the paper's contribution).
+//
+// DhbScheduler implements the algorithm of the paper's Figure 6, including
+// the two §4 generalizations:
+//   * per-segment maximum periods T[j] (VBR-tuned videos delay high-numbered
+//     segments beyond their CBR window), and
+//   * an optional client reception-bandwidth cap (the §5 future-work item:
+//     limit the STB to c simultaneous streams).
+//
+// Operation. The scheduler owns a SlotSchedule. A request arriving during
+// the current slot i is admitted with on_request(): for each segment S_j
+// (j = 1..n) the window (i, i + T[j]] is examined; an existing instance is
+// shared when present, otherwise a new instance is placed by the configured
+// slot heuristic. advance_slot() moves to the next slot and reports what
+// the server transmits during it.
+//
+// Complexity. State is O(n + window); a request costs O(sum_j T[j]) slot
+// probes when the system is idle and O(n) probe-only work at saturation
+// (everything already scheduled) — the cost profile §3 of the paper argues
+// for.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/heuristics.h"
+#include "schedule/client_plan.h"
+#include "schedule/slot_schedule.h"
+#include "schedule/types.h"
+#include "sim/random.h"
+
+namespace vod {
+
+struct DhbConfig {
+  // Number of segments n (the paper's figures use 99).
+  int num_segments = 99;
+  // Per-segment maximum periods T[j], 1-based at index j-1. Empty means the
+  // CBR base protocol, T[j] = j. Values must satisfy 1 <= T[j] and T[1] = 1;
+  // VBR-tuned configurations may have T[j] > j (work-ahead slack).
+  std::vector<int> periods;
+  // Slot-choice rule; the paper's protocol is kMinLoadLatest.
+  SlotHeuristic heuristic = SlotHeuristic::kMinLoadLatest;
+  // Maximum simultaneous streams a client may receive; 0 = unlimited (the
+  // paper's base protocol).
+  int client_stream_cap = 0;
+  // Seed for the kRandom heuristic only.
+  uint64_t heuristic_seed = 1;
+};
+
+struct DhbRequestResult {
+  ClientPlan plan;
+  int new_instances = 0;     // segments that needed a fresh transmission
+  int shared_instances = 0;  // segments shared with earlier requests
+  int cap_violations = 0;    // slots where the client cap could not be met
+};
+
+class DhbScheduler {
+ public:
+  explicit DhbScheduler(const DhbConfig& config);
+
+  // Admits a request arriving during the current slot.
+  DhbRequestResult on_request();
+
+  // Admits a VCR resume/seek: a client that wants to watch segments
+  // first..n starting next slot (it watches S_j during slot
+  // now + (j - first + 1)). The windows are the base windows clamped to
+  // the tighter resume deadlines, so resumed clients share instances with
+  // ordinary requests whenever timing allows. on_request() == on_resume(1).
+  // The returned plan's reception_slot[0] corresponds to segment `first`.
+  DhbRequestResult on_resume(Segment first_segment);
+
+  // General range admission: watch segments first..last starting next
+  // slot. on_request() == on_range(1, n); on_resume(f) == on_range(f, n).
+  // A declared-length prefix (on_range(1, L)) models a viewer known to
+  // leave after L segments — the oracle against which the cost of DHB's
+  // never-cancel rule under abandonment is measured (bench/abandonment).
+  DhbRequestResult on_range(Segment first_segment, Segment last_segment);
+
+  // The effective period vector a resume at `first_segment` runs under
+  // (entry 0 corresponds to that segment); pass it to verify_plan.
+  std::vector<int> resume_periods(Segment first_segment) const;
+
+  // Channel-bounded admission: admits the request only if every segment
+  // can be served without any slot exceeding `channel_cap` concurrent
+  // transmissions. Returns nullopt — with NO schedule mutation — when the
+  // request would need a 'channel_cap+1'-th channel somewhere; the caller
+  // (an admission controller) retries next slot, trading extra client
+  // waiting for a hard bandwidth ceiling. Uses the paper's min-load-latest
+  // rule restricted to under-cap slots. Unlimited-client-bandwidth only
+  // (client_stream_cap must be 0).
+  std::optional<DhbRequestResult> on_request_bounded(int channel_cap);
+
+  // Advances to the next slot; returns the segments the server transmits
+  // during it (the per-slot bandwidth in streams is the vector's size).
+  std::vector<Segment> advance_slot();
+
+  Slot current_slot() const { return schedule_.now(); }
+  const SlotSchedule& schedule() const { return schedule_; }
+  const std::vector<int>& periods() const { return periods_; }
+  int num_segments() const { return config_.num_segments; }
+
+  // Lifetime counters (for the scheduling-cost analysis of §3).
+  uint64_t total_requests() const { return total_requests_; }
+  uint64_t total_new_instances() const { return total_new_instances_; }
+  uint64_t total_shared() const { return total_shared_; }
+  uint64_t total_slot_probes() const { return total_slot_probes_; }
+
+ private:
+  // Slot choice restricted to slots where the client still has reception
+  // capacity; nullopt when no slot in [lo, hi] qualifies.
+  std::optional<Slot> choose_capped_slot(Slot lo, Slot hi,
+                                         const std::vector<int>& client_load,
+                                         Slot arrival) const;
+
+  // Shared admission path; windows (now, now + min(T[j], j - first + 1)].
+  DhbRequestResult admit(Segment first_segment, Segment last_segment);
+
+  DhbConfig config_;
+  std::vector<int> periods_;  // resolved T[], index j-1
+  int window_;                // max_j T[j]
+  SlotSchedule schedule_;
+  Rng rng_;
+  uint64_t total_requests_ = 0;
+  uint64_t total_new_instances_ = 0;
+  uint64_t total_shared_ = 0;
+  uint64_t total_slot_probes_ = 0;
+};
+
+}  // namespace vod

@@ -1,0 +1,67 @@
+#include "core/heuristics.h"
+
+#include "util/check.h"
+
+namespace vod {
+
+std::string to_string(SlotHeuristic h) {
+  switch (h) {
+    case SlotHeuristic::kMinLoadLatest:
+      return "min-load-latest";
+    case SlotHeuristic::kMinLoadEarliest:
+      return "min-load-earliest";
+    case SlotHeuristic::kLatest:
+      return "latest";
+    case SlotHeuristic::kEarliest:
+      return "earliest";
+    case SlotHeuristic::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+Slot choose_slot(SlotHeuristic h, const SlotSchedule& schedule, Slot lo,
+                 Slot hi, Rng* rng) {
+  VOD_CHECK(lo <= hi);
+  switch (h) {
+    case SlotHeuristic::kLatest:
+      return hi;
+    case SlotHeuristic::kEarliest:
+      return lo;
+    case SlotHeuristic::kRandom: {
+      VOD_CHECK(rng != nullptr);
+      return lo + static_cast<Slot>(
+                      rng->uniform_index(static_cast<uint64_t>(hi - lo + 1)));
+    }
+    case SlotHeuristic::kMinLoadLatest: {
+      // "let m_min := min {m_k | lo <= k <= hi};
+      //  let k_max := max {k | m_k = m_min}" — Figure 6.
+      Slot best = hi;
+      int best_load = schedule.load(hi);
+      for (Slot s = hi - 1; s >= lo; --s) {
+        const int m = schedule.load(s);
+        if (m < best_load) {
+          best_load = m;
+          best = s;
+        }
+      }
+      return best;
+    }
+    case SlotHeuristic::kMinLoadEarliest: {
+      Slot best = lo;
+      int best_load = schedule.load(lo);
+      for (Slot s = lo + 1; s <= hi; ++s) {
+        const int m = schedule.load(s);
+        if (m < best_load) {
+          best_load = m;
+          best = s;
+        }
+      }
+      return best;
+    }
+  }
+  VOD_CHECK(false);
+  return lo;
+}
+
+}  // namespace vod

@@ -1,0 +1,75 @@
+#include "protocols/batching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/random.h"
+#include "util/check.h"
+
+namespace vod {
+
+double batching_expected_bandwidth(const BatchingConfig& config) {
+  const double lambda = per_hour(config.requests_per_hour);
+  const double beta = config.batch_interval_s;
+  return config.video_duration_s / beta * (1.0 - std::exp(-lambda * beta));
+}
+
+BatchingResult run_batching_simulation(const BatchingConfig& config) {
+  PoissonProcess arrivals(per_hour(config.requests_per_hour), Rng(config.seed));
+  return run_batching_simulation(config, arrivals);
+}
+
+BatchingResult run_batching_simulation(const BatchingConfig& config,
+                                       ArrivalProcess& arrivals) {
+  const double beta = config.batch_interval_s;
+  const double D = config.video_duration_s;
+  VOD_CHECK(beta > 0.0 && D > 0.0);
+  const double w_lo = config.warmup_hours * 3600.0;
+  const double w_hi = w_lo + config.measured_hours * 3600.0;
+
+  BatchingResult result;
+  std::vector<std::pair<double, int>> events;
+  double busy = 0.0;
+
+  // Walk batch boundaries; a stream starts at boundary k*beta iff at least
+  // one request arrived during ((k-1)*beta, k*beta].
+  double t = arrivals.next();
+  double boundary = std::ceil(t / beta) * beta;
+  while (boundary < w_hi) {
+    bool any = false;
+    while (t <= boundary) {
+      any = true;
+      if (t >= w_lo) ++result.requests;
+      t = arrivals.next();
+    }
+    if (any) {
+      const double a = std::max(boundary, w_lo);
+      const double b = std::min(boundary + D, w_hi);
+      if (b > a) {
+        busy += b - a;
+        events.push_back({a, +1});
+        events.push_back({b, -1});
+      }
+      if (boundary >= w_lo) ++result.streams_started;
+    }
+    // Jump to the first boundary that can contain the pending arrival.
+    boundary = std::max(boundary + beta, std::ceil(t / beta) * beta);
+  }
+
+  result.avg_streams = busy / (w_hi - w_lo);
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              return a.first < b.first ||
+                     (a.first == b.first && a.second < b.second);
+            });
+  int active = 0, peak = 0;
+  for (const auto& [time, delta] : events) {
+    active += delta;
+    peak = std::max(peak, active);
+  }
+  result.max_streams = peak;
+  return result;
+}
+
+}  // namespace vod

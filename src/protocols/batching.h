@@ -1,0 +1,41 @@
+// Request batching (Dan, Sitaram & Shahabuddin — the paper's §2 cites it as
+// the earliest bandwidth-reduction technique): requests are queued and one
+// full multicast stream serves everyone who arrived during the same batching
+// interval. Trades a bounded start-up delay (the interval) for bandwidth.
+//
+// Included as the historical baseline: with interval = slot duration it is
+// what a slotted server does with zero segment cleverness, and its average
+// bandwidth D/beta * P(batch non-empty) shows why segment-based protocols
+// were needed at all.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/arrival_process.h"
+
+namespace vod {
+
+struct BatchingConfig {
+  double video_duration_s = 7200.0;
+  double batch_interval_s = 72.7;  // matches the paper's 99-segment wait
+  double requests_per_hour = 10.0;
+  double warmup_hours = 8.0;
+  double measured_hours = 200.0;
+  uint64_t seed = 42;
+};
+
+struct BatchingResult {
+  double avg_streams = 0.0;
+  double max_streams = 0.0;
+  uint64_t requests = 0;
+  uint64_t streams_started = 0;
+};
+
+// Closed form for Poisson arrivals: (D / beta) * (1 - exp(-lambda*beta)).
+double batching_expected_bandwidth(const BatchingConfig& config);
+
+BatchingResult run_batching_simulation(const BatchingConfig& config);
+BatchingResult run_batching_simulation(const BatchingConfig& config,
+                                       ArrivalProcess& arrivals);
+
+}  // namespace vod

@@ -1,0 +1,18 @@
+#include "protocols/dynamic_npb.h"
+
+#include "protocols/on_demand.h"
+
+namespace vod {
+
+SlottedSimResult run_dynamic_npb_simulation(const NpbMapping& mapping,
+                                            const SlottedSimConfig& sim) {
+  return run_on_demand_simulation(mapping, sim);
+}
+
+SlottedSimResult run_dynamic_npb_simulation(const NpbMapping& mapping,
+                                            const SlottedSimConfig& sim,
+                                            ArrivalProcess& arrivals) {
+  return run_on_demand_simulation(mapping, sim, arrivals);
+}
+
+}  // namespace vod

@@ -1,0 +1,28 @@
+// Dynamic NPB — the first design §3 of the paper describes trying ("we
+// first experimented with a dynamic version of the NPB protocol") before
+// settling on DHB: keep NPB's fixed segment-to-slot mapping, but perform a
+// scheduled transmission only when at least one active client needs it.
+//
+// A client arriving during slot a takes, for each segment, the mapping's
+// first occurrence after a (guaranteed within the deadline by the pinwheel
+// property); an occurrence of S_m at slot t is therefore needed iff some
+// request arrived at or after S_m's previous occurrence. By construction
+// its bandwidth never exceeds NPB's stream count — but, as the paper found,
+// it lags both UD and stream tapping below ~40-60 requests/hour.
+#pragma once
+
+#include "core/dhb_simulator.h"
+#include "protocols/npb.h"
+#include "sim/arrival_process.h"
+
+namespace vod {
+
+// Runs dynamic NPB on the given mapping under Poisson arrivals.
+SlottedSimResult run_dynamic_npb_simulation(const NpbMapping& mapping,
+                                            const SlottedSimConfig& sim);
+
+SlottedSimResult run_dynamic_npb_simulation(const NpbMapping& mapping,
+                                            const SlottedSimConfig& sim,
+                                            ArrivalProcess& arrivals);
+
+}  // namespace vod

@@ -1,0 +1,36 @@
+#include "protocols/harmonic.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vod {
+
+double harmonic_number(int n) {
+  VOD_CHECK(n >= 0);
+  double h = 0.0;
+  for (int j = 1; j <= n; ++j) h += 1.0 / static_cast<double>(j);
+  return h;
+}
+
+double harmonic_bandwidth(int n) { return harmonic_number(n); }
+
+double evz_lower_bound(double lambda, double duration_s) {
+  VOD_CHECK(lambda >= 0.0);
+  return std::log1p(lambda * duration_s);
+}
+
+double evz_lower_bound_delayed(double lambda, double duration_s,
+                               double delay_s) {
+  VOD_CHECK(lambda >= 0.0);
+  VOD_CHECK(delay_s >= 0.0);
+  return std::log1p(lambda * duration_s / (1.0 + lambda * delay_s));
+}
+
+double polyharmonic_bandwidth(int n, int m) {
+  VOD_CHECK(n >= 1);
+  VOD_CHECK(m >= 1);
+  return harmonic_number(n + m - 1) - harmonic_number(m - 1);
+}
+
+}  // namespace vod

@@ -1,0 +1,39 @@
+// Analytic reference curves.
+//
+// Harmonic broadcasting transmits segment S_j continuously at rate b/j, so
+// its server bandwidth is exactly b * H_n — the fluid optimum every
+// fixed-segment protocol (NPB included) chases, and the level DHB's average
+// approaches at saturation (one request per slot => S_j sent every ~j
+// slots).
+//
+// Eager, Vernon & Zahorjan's lower bound (the paper cites it in §3 when
+// motivating maximum sharing) gives the minimum average server bandwidth of
+// ANY protocol delivering on-demand: b * ln(1 + N) for immediate service
+// with N = lambda*D concurrent-request load, and b * ln(1 + N/(1 + lambda*w))
+// when clients tolerate a start-up delay w.
+#pragma once
+
+namespace vod {
+
+// H_n = sum_{j=1..n} 1/j.
+double harmonic_number(int n);
+
+// Server bandwidth of harmonic broadcasting with n segments, units of b.
+double harmonic_bandwidth(int n);
+
+// EVZ minimum average bandwidth (units of b) for immediate service.
+// lambda: requests/second; duration: video length in seconds.
+double evz_lower_bound(double lambda, double duration_s);
+
+// EVZ minimum with client start-up delay w seconds.
+double evz_lower_bound_delayed(double lambda, double duration_s,
+                               double delay_s);
+
+// Polyharmonic broadcasting (Pâris et al. — §4 names PHB-PP as one of the
+// two protocols able to handle compressed video): clients wait m slots
+// before playback, letting segment S_j be transmitted at rate
+// b/(m + j - 1). Server bandwidth = H_{n+m-1} - H_{m-1}; m = 1 recovers
+// plain harmonic broadcasting.
+double polyharmonic_bandwidth(int n, int m);
+
+}  // namespace vod

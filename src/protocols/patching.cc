@@ -1,0 +1,46 @@
+#include "protocols/patching.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vod {
+
+TappingResult run_patching_simulation(TappingConfig config) {
+  config.mode = TappingMode::kPatching;
+  return run_tapping_simulation(config);
+}
+
+TappingResult run_patching_simulation(TappingConfig config,
+                                      ArrivalProcess& arrivals) {
+  config.mode = TappingMode::kPatching;
+  if (config.restart_threshold_s <= 0.0) {
+    config.restart_threshold_s = patching_optimal_threshold(
+        per_hour(config.requests_per_hour), config.video_duration_s);
+  }
+  return run_tapping_simulation(config, arrivals);
+}
+
+double patching_expected_bandwidth(double lambda, double duration_s,
+                                   double threshold_s) {
+  VOD_CHECK(lambda > 0.0);
+  VOD_CHECK(duration_s > 0.0);
+  const double theta = threshold_s;
+  // Renewal-reward over restart cycles. A cycle starts with an original at
+  // the threshold-crossing arrival; patches arrive during the next theta
+  // seconds (Poisson, mean offset theta/2 each); the cycle closes at the
+  // first arrival after the threshold (mean residual 1/lambda).
+  const double cost = duration_s + lambda * theta * theta / 2.0;
+  const double cycle = theta + 1.0 / lambda;
+  return cost / cycle;
+}
+
+double patching_optimal_threshold(double lambda, double duration_s) {
+  VOD_CHECK(lambda > 0.0);
+  VOD_CHECK(duration_s > 0.0);
+  // d/dtheta of the closed form vanishes at
+  // lambda*theta^2/2 + theta - D = 0.
+  return (std::sqrt(1.0 + 2.0 * lambda * duration_s) - 1.0) / lambda;
+}
+
+}  // namespace vod

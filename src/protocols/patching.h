@@ -1,0 +1,27 @@
+// Patching (Hua, Cai & Sheu, ACM MM'98) — the purely reactive baseline the
+// paper groups with stream tapping. A client joins the latest full
+// multicast of the video and receives only the missed prefix on a private
+// patch stream; unlike stream tapping it never taps other clients'
+// patches. This facade runs the shared reactive engine with extra tapping
+// disabled ("grace patching" when the restart threshold is tuned).
+#pragma once
+
+#include "protocols/stream_tapping.h"
+
+namespace vod {
+
+// Identical knobs to TappingConfig; the mode is forced to kPatching.
+TappingResult run_patching_simulation(TappingConfig config);
+TappingResult run_patching_simulation(TappingConfig config,
+                                      ArrivalProcess& arrivals);
+
+// Closed-form average bandwidth of threshold patching under Poisson
+// arrivals (renewal-reward over restart cycles): used to cross-check the
+// simulator. lambda in requests/second; all times in seconds.
+double patching_expected_bandwidth(double lambda, double duration_s,
+                                   double threshold_s);
+
+// The threshold minimizing the closed form.
+double patching_optimal_threshold(double lambda, double duration_s);
+
+}  // namespace vod

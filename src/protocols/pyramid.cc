@@ -1,0 +1,38 @@
+#include "protocols/pyramid.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vod {
+
+double pyramid_max_wait_s(int channels, double rate_multiple,
+                          double duration_s) {
+  VOD_CHECK(channels >= 1);
+  VOD_CHECK(rate_multiple > 1.0);
+  VOD_CHECK(duration_s > 0.0);
+  const double alpha = rate_multiple;
+  // D = d1 * (alpha^k - 1) / (alpha - 1)  =>  d1.
+  const double geometric =
+      (std::pow(alpha, channels) - 1.0) / (alpha - 1.0);
+  return duration_s / geometric;
+}
+
+double pyramid_bandwidth(int channels, double rate_multiple) {
+  VOD_CHECK(channels >= 1);
+  VOD_CHECK(rate_multiple > 1.0);
+  return static_cast<double>(channels) * rate_multiple;
+}
+
+int pyramid_channels_for(double max_wait_s, double rate_multiple,
+                         double duration_s) {
+  VOD_CHECK(max_wait_s > 0.0);
+  for (int k = 1; k <= 64; ++k) {
+    if (pyramid_max_wait_s(k, rate_multiple, duration_s) <= max_wait_s) {
+      return k;
+    }
+  }
+  return 64;
+}
+
+}  // namespace vod

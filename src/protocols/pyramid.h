@@ -1,0 +1,35 @@
+// Pyramid Broadcasting (Viswanathan & Imielinski — the paper's §2 credits
+// it as "the first efficient broadcasting protocol", the proposal that
+// introduced the set-top buffer).
+//
+// PB departs from the equal-segment protocols: the video is cut into k
+// segments of geometrically increasing size (ratio alpha), each broadcast
+// round-robin on its own channel whose bandwidth is a multiple r of the
+// consumption rate. A client grabs segment 1 at its next appearance and
+// downloads each subsequent segment while consuming the previous one;
+// timeliness requires alpha <= r (segment i+1 downloads at rate r in the
+// time it takes to play segment i). With the maximum waiting time fixed to
+// the duration of segment 1, total length D = d1 * (alpha^k - 1)/(alpha-1),
+// so the access latency falls geometrically in k while the server spends
+// k * r consumption-rate units — the trade FB/NPB later improved on with
+// unit-rate channels.
+//
+// Analytic only (the successors are simulated; PB is kept for the §2
+// capacity comparison).
+#pragma once
+
+namespace vod {
+
+// Maximum waiting time (seconds) for k channels at channel-rate multiple r
+// (alpha = r), video duration D: the duration of segment 1.
+double pyramid_max_wait_s(int channels, double rate_multiple,
+                          double duration_s);
+
+// Total server bandwidth in units of b: k * r.
+double pyramid_bandwidth(int channels, double rate_multiple);
+
+// Channels needed to reach a waiting time <= max_wait_s at rate multiple r.
+int pyramid_channels_for(double max_wait_s, double rate_multiple,
+                         double duration_s);
+
+}  // namespace vod

@@ -1,0 +1,60 @@
+// Selective Catching (Gao, Zhang & Towsley — paper §2): the other
+// reactive/proactive hybrid. The server dedicates channels to a periodic
+// broadcast of the video and uses extra "catching" streams so every client
+// starts playback immediately: a new client tunes into the ongoing
+// broadcast cycle and receives only the part it missed on a short
+// dedicated stream.
+//
+// Model. The broadcast side is FB with k channels (segment slots of
+// d = D / (2^k - 1)); the catching side gives a client arriving inside a
+// slot the already-elapsed part of the current S_1 transmission, i.e. an
+// expected d/2 of unicast. Server bandwidth:
+//
+//     B(k) = k * P(broadcast channel busy...) -- the dedicated channels are
+//            always on -- plus lambda * d / 2 for catching,
+//     B(k) = k + lambda * D / (2 * (2^k - 1)).
+//
+// Optimizing k gives the O(log(lambda * L)) growth the paper quotes for
+// SC. Like stream tapping (and unlike DHB/UD), SC offers zero-delay
+// access, which is why §3 says "similar considerations would apply to
+// selective catching" when explaining why the reactive curve loses above
+// two requests per hour.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/arrival_process.h"
+
+namespace vod {
+
+struct SelectiveCatchingConfig {
+  double video_duration_s = 7200.0;
+  // Dedicated FB broadcast channels; <= 0 picks the optimum for the rate.
+  int broadcast_channels = -1;
+  double requests_per_hour = 10.0;
+  double warmup_hours = 8.0;
+  double measured_hours = 200.0;
+  uint64_t seed = 42;
+};
+
+struct SelectiveCatchingResult {
+  double avg_streams = 0.0;
+  double max_streams = 0.0;
+  uint64_t requests = 0;
+  int broadcast_channels = 0;  // the k actually used
+};
+
+// Closed form B(k) above (units of b). lambda in requests/second.
+double selective_catching_expected_bandwidth(double lambda,
+                                             double duration_s,
+                                             int broadcast_channels);
+
+// k minimizing the closed form for this rate.
+int selective_catching_optimal_channels(double lambda, double duration_s);
+
+SelectiveCatchingResult run_selective_catching_simulation(
+    const SelectiveCatchingConfig& config);
+SelectiveCatchingResult run_selective_catching_simulation(
+    const SelectiveCatchingConfig& config, ArrivalProcess& arrivals);
+
+}  // namespace vod

@@ -1,0 +1,70 @@
+#include "protocols/skyscraper.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace vod {
+
+int skyscraper_width(int j) {
+  VOD_CHECK(j >= 1);
+  // Hua & Sheu's recurrence: 1, 2, 2, then alternating 2w+1 / repeat /
+  // 2w+2 / repeat.
+  if (j == 1) return 1;
+  if (j == 2 || j == 3) return 2;
+  int w = 2;  // w(3)
+  for (int i = 4; i <= j; ++i) {
+    switch (i % 4) {
+      case 0:
+        w = 2 * w + 1;
+        break;
+      case 2:
+        w = 2 * w + 2;
+        break;
+      default:
+        break;  // odd indices repeat the previous width
+    }
+  }
+  return w;
+}
+
+SbMapping::SbMapping(int num_segments) : n_(num_segments) {
+  VOD_CHECK(num_segments >= 1);
+  int first = 1;
+  for (int j = 1; first <= n_; ++j) {
+    const int width = skyscraper_width(j);
+    const int count = std::min(width, n_ - first + 1);
+    first_.push_back(first);
+    count_.push_back(count);
+    first += count;
+  }
+  cycle_ = 1;
+  for (int c : count_) cycle_ = std::lcm<Slot>(cycle_, c);
+}
+
+Segment SbMapping::segment_at(int stream, Slot slot) const {
+  VOD_DCHECK(stream >= 0 && stream < streams());
+  VOD_DCHECK(slot >= 1);
+  const size_t k = static_cast<size_t>(stream);
+  return static_cast<Segment>(first_[k] +
+                              static_cast<int>((slot - 1) % count_[k]));
+}
+
+int SbMapping::streams_for(int num_segments) {
+  VOD_CHECK(num_segments >= 1);
+  int total = 0;
+  int k = 0;
+  while (total < num_segments) {
+    ++k;
+    total += skyscraper_width(k);
+  }
+  return k;
+}
+
+int SbMapping::capacity(int streams) {
+  int total = 0;
+  for (int j = 1; j <= streams; ++j) total += skyscraper_width(j);
+  return total;
+}
+
+}  // namespace vod

@@ -1,0 +1,58 @@
+// Framework for proactive (static) broadcasting protocols.
+//
+// A static protocol is a periodic segment-to-(stream, slot) mapping that is
+// broadcast forever, independent of demand. Correctness is the pinwheel
+// property: every window of j consecutive slots contains at least one
+// transmission of segment S_j, which guarantees a client arriving during
+// any slot receives every segment by its stream-through deadline.
+//
+// The validator checks that property plus stream-count accounting; it is
+// shared by FB, SB and the NPB packer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schedule/types.h"
+
+namespace vod {
+
+class StaticMapping {
+ public:
+  virtual ~StaticMapping() = default;
+
+  virtual int streams() const = 0;
+  virtual int num_segments() const = 0;
+
+  // Segment transmitted on `stream` (0-based) during `slot` (>= 1);
+  // 0 = idle. Implementations must be periodic in `slot`.
+  virtual Segment segment_at(int stream, Slot slot) const = 0;
+
+  // Period after which the whole mapping repeats (used by validators to
+  // bound the horizon they must examine).
+  virtual Slot cycle_length() const = 0;
+};
+
+struct MappingValidation {
+  bool ok = true;
+  std::string error;  // human-readable description of the first failure
+};
+
+// Checks over one full cycle (plus wrap-around) that:
+//  * every segment 1..n appears somewhere,
+//  * every gap between consecutive occurrences of S_j is <= j,
+//  * no two streams carry the same segment in the same slot redundantly is
+//    allowed but reported? — no: duplicates are legal, only gaps matter.
+MappingValidation validate_mapping(const StaticMapping& m);
+
+// Reception plan for a client arriving during `arrival`: for each segment,
+// the first slot > arrival in which it is transmitted. Used by the dynamic
+// variants (UD, dNPB) and by tests.
+std::vector<Slot> first_occurrences(const StaticMapping& m, Slot arrival);
+
+// Renders slots [first, last] as a stream/slot grid (the paper's Figures
+// 1-3 style).
+std::string render_mapping(const StaticMapping& m, Slot first, Slot last);
+
+}  // namespace vod

@@ -1,0 +1,80 @@
+// The reactive protocols of the paper's Figure 7 ("Stream Tapping/
+// Patching", Carter & Long / Hua, Cai & Sheu), plus an idealized merging
+// reference.
+//
+// Model (continuous time, unlimited client buffer — the configuration the
+// paper simulates): the server keeps "original" streams carrying the whole
+// video and per-request patch streams. Content second x of a stream
+// admitted at wall time a is transmitted at wall time a + x, so a client
+// arriving at t can tap, from any live stream, exactly the content beyond
+// t - a. Three service policies are provided:
+//
+//  * kPatching — the client taps the latest original only; its own stream
+//    carries the whole missed prefix [0, delta). Classic patching, with the
+//    closed-form average sqrt(1 + 2*lambda*D) - 1 at the optimal restart
+//    threshold (see patching.h).
+//  * kStreamTapping — "unlimited extra tapping": the client taps the
+//    original AND every live patch, but its own stream is still one
+//    contiguous prefix [0, u), u = the last content second nobody else will
+//    deliver in time. Slightly cheaper than patching at every rate; same
+//    square-root growth. This is the Figure 7 reactive curve.
+//  * kIdealMerging — the client's stream carries only the uncovered
+//    fragments themselves. The recursive fragment-tapping this enables
+//    collapses the cost to gap-filling, tracking the Eager-Vernon-Zahorjan
+//    reactive lower bound (~ln(1 + lambda*D)); included as the reference
+//    for what HMSM-class protocols (§2) achieve, NOT as stream tapping.
+//
+// A fresh original is started whenever the client's own stream would cost
+// at least the restart threshold; optimize_restart_threshold() picks the
+// threshold numerically per arrival rate (the role the option calculation
+// plays in the original stream-tapping protocol).
+//
+// Bandwidth accounting is exact under the transmission model: a stream is
+// active at wall w iff (w - a) lies in its carried set, so the average
+// comes from total carried measure and the maximum from an event sweep.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/arrival_process.h"
+
+namespace vod {
+
+enum class TappingMode {
+  kPatching,
+  kStreamTapping,
+  kIdealMerging,
+};
+
+struct TappingConfig {
+  double video_duration_s = 7200.0;
+  double requests_per_hour = 10.0;
+  double warmup_hours = 8.0;
+  double measured_hours = 200.0;
+  uint64_t seed = 42;
+  TappingMode mode = TappingMode::kStreamTapping;
+  // Start a new original when a request's own stream would cost at least
+  // this many stream-seconds. <= 0 selects the threshold automatically via
+  // optimize_restart_threshold().
+  double restart_threshold_s = -1.0;
+};
+
+struct TappingResult {
+  double avg_streams = 0.0;   // time-average bandwidth, units of b
+  double max_streams = 0.0;   // max concurrent streams in the window
+  uint64_t requests = 0;      // admitted in the measured window
+  uint64_t originals = 0;     // full streams started in the window
+  double avg_cost_s = 0.0;    // mean own-stream seconds per request
+  double restart_threshold_s = 0.0;  // the threshold actually used
+};
+
+// Runs the simulation with Poisson arrivals (or caller-supplied arrivals).
+TappingResult run_tapping_simulation(const TappingConfig& config);
+TappingResult run_tapping_simulation(const TappingConfig& config,
+                                     ArrivalProcess& arrivals);
+
+// Sweeps a geometric grid of restart thresholds with short pilot runs and
+// returns the threshold minimizing average bandwidth.
+double optimize_restart_threshold(const TappingConfig& config);
+
+}  // namespace vod

@@ -1,0 +1,19 @@
+#include "schedule/bandwidth_meter.h"
+
+namespace vod {
+
+BandwidthMeter::BandwidthMeter(uint64_t warmup_slots, uint64_t batch_slots)
+    : series_(warmup_slots), batches_(batch_slots), warmup_(warmup_slots) {}
+
+void BandwidthMeter::add_slot(int streams) {
+  const double v = static_cast<double>(streams);
+  series_.add(v);
+  if (seen_ < warmup_) {
+    ++seen_;
+    return;
+  }
+  ++seen_;
+  batches_.add(v);
+}
+
+}  // namespace vod

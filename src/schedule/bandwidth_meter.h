@@ -1,0 +1,50 @@
+// Server bandwidth accounting for slotted protocols.
+//
+// Bandwidth is reported the way the paper plots it: in multiples of the
+// video consumption rate b ("data streams"). One scheduled segment instance
+// occupies one stream for one slot, so the instantaneous bandwidth during a
+// slot is simply the number of instances transmitted in it. The meter trims
+// a warmup prefix and produces batch-means confidence intervals.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/batch_means.h"
+#include "sim/stats.h"
+#include "sim/timeseries.h"
+
+namespace vod {
+
+class BandwidthMeter {
+ public:
+  // warmup_slots samples are discarded; batch_slots sizes the CI batches.
+  explicit BandwidthMeter(uint64_t warmup_slots = 0,
+                          uint64_t batch_slots = 10000);
+
+  void add_slot(int streams);
+
+  uint64_t measured_slots() const { return series_.measured_count(); }
+  // Time-average bandwidth in streams (multiples of b).
+  double mean_streams() const { return series_.mean(); }
+  // Maximum per-slot bandwidth in streams over the measured window.
+  double max_streams() const { return series_.max(); }
+  // 95% batch-means confidence interval on the mean.
+  ConfidenceInterval mean_ci95() const { return batches_.interval95(); }
+
+  // Converts the mean to MB/s given the per-stream rate in KB/s (the VBR
+  // experiments of the paper's §4 report MB/s).
+  double mean_mbs(double stream_kbs) const {
+    return mean_streams() * stream_kbs / 1000.0;
+  }
+  double max_mbs(double stream_kbs) const {
+    return max_streams() * stream_kbs / 1000.0;
+  }
+
+ private:
+  SlotSeries series_;
+  BatchMeans batches_;
+  uint64_t warmup_;
+  uint64_t seen_ = 0;
+};
+
+}  // namespace vod

@@ -1,0 +1,59 @@
+#include "schedule/client_plan.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace vod {
+
+PlanDiagnostics verify_plan(const ClientPlan& plan,
+                            const std::vector<int>& periods) {
+  PlanDiagnostics diag;
+  const int n = plan.num_segments();
+  if (!periods.empty()) {
+    VOD_CHECK(static_cast<int>(periods.size()) == n);
+  }
+
+  // Deadlines + per-slot reception counts.
+  std::map<Slot, int> receptions;  // slot -> segments received in it
+  for (int j = 1; j <= n; ++j) {
+    const Slot s = plan.reception_slot[static_cast<size_t>(j - 1)];
+    const Slot deadline =
+        plan.arrival_slot +
+        (periods.empty() ? j : periods[static_cast<size_t>(j - 1)]);
+    if (s <= plan.arrival_slot || s > deadline) {
+      if (diag.deadlines_met) {
+        diag.deadlines_met = false;
+        diag.first_violation = j;
+      }
+    }
+    ++receptions[s];
+  }
+  for (const auto& [slot, count] : receptions) {
+    diag.max_concurrent_streams = std::max(diag.max_concurrent_streams, count);
+  }
+
+  // Buffering: walk slot boundaries; at the end of slot t the client has
+  // consumed min(t - arrival, n) segments and received every segment whose
+  // reception slot is <= t.
+  if (n > 0) {
+    Slot last =
+        *std::max_element(plan.reception_slot.begin(), plan.reception_slot.end());
+    int received = 0;
+    auto it = receptions.begin();
+    for (Slot t = plan.arrival_slot + 1; t <= last; ++t) {
+      while (it != receptions.end() && it->first <= t) {
+        received += it->second;
+        ++it;
+      }
+      const int consumed =
+          static_cast<int>(std::min<Slot>(t - plan.arrival_slot, n));
+      diag.max_buffered_segments =
+          std::max(diag.max_buffered_segments, received - consumed);
+    }
+  }
+  return diag;
+}
+
+}  // namespace vod

@@ -1,0 +1,80 @@
+#include "schedule/slot_schedule.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace vod {
+
+SlotSchedule::SlotSchedule(int num_segments, int window)
+    : num_segments_(num_segments),
+      window_(window),
+      loads_(static_cast<size_t>(window) + 1, 0),
+      contents_(static_cast<size_t>(window) + 1),
+      per_segment_(static_cast<size_t>(num_segments) + 1) {
+  VOD_CHECK(num_segments >= 1);
+  VOD_CHECK(window >= 1);
+}
+
+size_t SlotSchedule::ring_index(Slot s) const {
+  return static_cast<size_t>(s % static_cast<Slot>(loads_.size()));
+}
+
+int SlotSchedule::load(Slot s) const {
+  VOD_DCHECK(s > now_ && s <= now_ + window_);
+  return loads_[ring_index(s)];
+}
+
+std::optional<Slot> SlotSchedule::find_instance(Segment j, Slot lo,
+                                                Slot hi) const {
+  VOD_DCHECK(j >= 1 && j <= num_segments_);
+  const std::vector<Slot>& slots = per_segment_[static_cast<size_t>(j)];
+  // Latest instance <= hi; lists are short (almost always 0 or 1 entries).
+  for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
+    if (*it <= hi) {
+      if (*it >= lo) return *it;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+bool SlotSchedule::has_future_instance(Segment j) const {
+  VOD_DCHECK(j >= 1 && j <= num_segments_);
+  return !per_segment_[static_cast<size_t>(j)].empty();
+}
+
+const std::vector<Slot>& SlotSchedule::instances_of(Segment j) const {
+  VOD_DCHECK(j >= 1 && j <= num_segments_);
+  return per_segment_[static_cast<size_t>(j)];
+}
+
+void SlotSchedule::add_instance(Segment j, Slot s) {
+  VOD_CHECK(j >= 1 && j <= num_segments_);
+  VOD_CHECK_MSG(s > now_ && s <= now_ + window_,
+                "instance outside the scheduling window");
+  const size_t idx = ring_index(s);
+  ++loads_[idx];
+  ++total_;
+  contents_[idx].push_back(j);
+  std::vector<Slot>& slots = per_segment_[static_cast<size_t>(j)];
+  slots.insert(std::upper_bound(slots.begin(), slots.end(), s), s);
+}
+
+std::vector<Segment> SlotSchedule::advance() {
+  ++now_;
+  const size_t idx = ring_index(now_);
+  std::vector<Segment> out = std::move(contents_[idx]);
+  contents_[idx].clear();
+  total_ -= loads_[idx];
+  loads_[idx] = 0;
+  for (Segment j : out) {
+    std::vector<Slot>& slots = per_segment_[static_cast<size_t>(j)];
+    auto it = std::find(slots.begin(), slots.end(), now_);
+    VOD_DCHECK(it != slots.end());
+    slots.erase(it);
+  }
+  return out;
+}
+
+}  // namespace vod

@@ -1,0 +1,69 @@
+// The server-side slotted transmission schedule.
+//
+// SlotSchedule tracks, for a bounded look-ahead window, which segment
+// instances are scheduled in which future slot. It is the state the DHB
+// scheduler (core/dhb.h) manipulates, but is protocol-agnostic: it only
+// knows about slots, per-slot load counts, and per-segment future
+// instances.
+//
+// Capacity: the window covers slots (now, now + window]; window must be at
+// least the largest scheduling horizon any caller uses (for DHB that is
+// max_j T[j] <= n).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "schedule/types.h"
+
+namespace vod {
+
+class SlotSchedule {
+ public:
+  // num_segments: segments are 1..num_segments. window: look-ahead depth.
+  SlotSchedule(int num_segments, int window);
+
+  Slot now() const { return now_; }
+  int window() const { return window_; }
+  int num_segments() const { return num_segments_; }
+
+  // Number of instances scheduled in slot s; s must lie in (now, now+window].
+  int load(Slot s) const;
+
+  // Latest scheduled instance of segment j in (lo, hi], if any.
+  // Requires now < lo <= hi <= now + window (callers clamp hi).
+  std::optional<Slot> find_instance(Segment j, Slot lo, Slot hi) const;
+
+  // True when segment j has at least one scheduled instance in the window.
+  bool has_future_instance(Segment j) const;
+
+  // All scheduled future slots of segment j, ascending. Under uncapped DHB
+  // this has at most one element (the paper's sharing invariant); the
+  // client-bandwidth-capped variant may create more.
+  const std::vector<Slot>& instances_of(Segment j) const;
+
+  // Schedules one instance of segment j in slot s (now < s <= now+window).
+  void add_instance(Segment j, Slot s);
+
+  // Advances the clock by one slot and returns the segments transmitted
+  // during the new current slot (its content is final: no request arriving
+  // from now on may schedule into it).
+  std::vector<Segment> advance();
+
+  // Total instances currently scheduled in the window.
+  int total_scheduled() const { return total_; }
+
+ private:
+  size_t ring_index(Slot s) const;
+
+  int num_segments_;
+  int window_;
+  Slot now_ = 0;
+  int total_ = 0;
+  std::vector<int> loads_;                       // ring, indexed by slot % size
+  std::vector<std::vector<Segment>> contents_;   // ring of per-slot segment lists
+  std::vector<std::vector<Slot>> per_segment_;   // [segment] -> future slots asc
+};
+
+}  // namespace vod

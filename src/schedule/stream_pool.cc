@@ -1,0 +1,54 @@
+#include "schedule/stream_pool.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace vod {
+
+int StreamPool::assign(Segment j, Slot s) {
+  VOD_CHECK(j >= 1);
+  for (size_t k = 0; k < streams_.size(); ++k) {
+    const auto& cells = streams_[k];
+    const bool busy = std::any_of(cells.begin(), cells.end(),
+                                  [s](const Cell& c) { return c.slot == s; });
+    if (!busy) {
+      streams_[k].push_back(Cell{s, j});
+      return static_cast<int>(k);
+    }
+  }
+  streams_.push_back({Cell{s, j}});
+  return static_cast<int>(streams_.size()) - 1;
+}
+
+Segment StreamPool::at(int stream, Slot slot) const {
+  if (stream < 0 || stream >= streams_used()) return 0;
+  for (const Cell& c : streams_[static_cast<size_t>(stream)]) {
+    if (c.slot == slot) return c.segment;
+  }
+  return 0;
+}
+
+std::string StreamPool::render(Slot first, Slot last) const {
+  std::ostringstream os;
+  os << "Slot      ";
+  for (Slot s = first; s <= last; ++s) os << '\t' << s;
+  os << '\n';
+  for (int k = 0; k < streams_used(); ++k) {
+    os << "Stream " << (k + 1) << "  ";
+    for (Slot s = first; s <= last; ++s) {
+      const Segment seg = at(k, s);
+      os << '\t';
+      if (seg == 0) {
+        os << '-';
+      } else {
+        os << 'S' << seg;
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace vod

@@ -1,0 +1,44 @@
+// Assignment of scheduled segment instances to physical data streams.
+//
+// The DHB scheduler reasons about per-slot instance counts; an actual
+// server must place each instance on a concrete channel. StreamPool does
+// first-fit assignment in scheduling order, which reproduces the stream
+// layout of the paper's Figures 4 and 5 (the first request's six segments
+// land on the 1st stream; the second request's S1/S2 land on the 2nd).
+// It also renders the assignment as a printable grid for the examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "schedule/types.h"
+
+namespace vod {
+
+class StreamPool {
+ public:
+  // Records that one instance of segment j was scheduled (in scheduling
+  // order) for transmission during slot s. Returns the assigned stream
+  // index (0-based): the lowest stream idle during s.
+  int assign(Segment j, Slot s);
+
+  // Number of streams the assignment used so far.
+  int streams_used() const { return static_cast<int>(streams_.size()); }
+
+  // Segment on `stream` during `slot` (0 = idle).
+  Segment at(int stream, Slot slot) const;
+
+  // Renders slots [first, last] as the paper's figures do: one row per
+  // stream, one column per slot, cells "S3" or "-".
+  std::string render(Slot first, Slot last) const;
+
+ private:
+  struct Cell {
+    Slot slot;
+    Segment segment;
+  };
+  // streams_[k] = cells occupied on stream k, in assignment order.
+  std::vector<std::vector<Cell>> streams_;
+};
+
+}  // namespace vod

@@ -1,0 +1,37 @@
+// Shared vocabulary types for slotted broadcasting.
+//
+// Conventions used throughout the library (they mirror the paper's):
+//  * A video of duration D seconds is cut into n segments of equal duration
+//    d = D/n; transmissions are aligned to slots of duration d.
+//  * Slots are numbered 1, 2, 3, ...; a request "arrives during slot i" and
+//    can only be served by transmissions in slots >= i + 1.
+//  * A client that arrived during slot i watches segment S_j during slot
+//    i + j, so S_j must be transmitted during some slot in (i, i + j]
+//    (stream-through reception: a segment may be received during the very
+//    slot in which it is watched, exactly as in fast broadcasting).
+//  * Segments are 1-based (S_1..S_n); segment id 0 means "idle".
+#pragma once
+
+#include <cstdint>
+
+namespace vod {
+
+using Slot = int64_t;
+using Segment = int32_t;
+
+// Parameters of one video in consumption-rate units.
+struct VideoParams {
+  double duration_s = 7200.0;  // D: the paper's canonical two-hour video
+  int num_segments = 99;       // n: the paper's canonical segment count
+
+  double slot_duration_s() const {
+    return duration_s / static_cast<double>(num_segments);
+  }
+  // Converts an arrival rate in requests/hour to the expected number of
+  // request arrivals per slot.
+  double arrivals_per_slot(double requests_per_hour) const {
+    return requests_per_hour / 3600.0 * slot_duration_s();
+  }
+};
+
+}  // namespace vod

@@ -1,0 +1,128 @@
+#include "server/multi_video.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "protocols/npb.h"
+#include "sim/arrival_process.h"
+#include "sim/stats.h"
+#include "util/check.h"
+
+namespace vod {
+
+MultiVideoResult run_multi_video_simulation(const MultiVideoConfig& config) {
+  VOD_CHECK(config.catalog_size >= 1);
+  VOD_CHECK(config.slot_duration_s > 0.0);
+
+  const int V = config.catalog_size;
+  const double d = config.slot_duration_s;
+  const uint64_t warmup_slots =
+      static_cast<uint64_t>(std::ceil(config.warmup_hours * 3600.0 / d));
+  const uint64_t total_slots =
+      warmup_slots +
+      static_cast<uint64_t>(std::ceil(config.measured_hours * 3600.0 / d));
+
+  // Per-video shapes: homogeneous defaults unless overridden.
+  std::vector<int> segments(static_cast<size_t>(V), config.num_segments);
+  std::vector<double> rate_kbs(static_cast<size_t>(V), 1.0);
+  if (!config.per_video_segments.empty()) {
+    VOD_CHECK(static_cast<int>(config.per_video_segments.size()) == V);
+    segments = config.per_video_segments;
+  }
+  if (!config.per_video_rate_kbs.empty()) {
+    VOD_CHECK(static_cast<int>(config.per_video_rate_kbs.size()) == V);
+    rate_kbs = config.per_video_rate_kbs;
+  }
+
+  // Which videos run a dynamic scheduler vs an always-on broadcast.
+  auto is_static = [&](int rank) {
+    switch (config.policy) {
+      case VideoPolicy::kDhb:
+        return false;
+      case VideoPolicy::kStatic:
+        return true;
+      case VideoPolicy::kHybrid:
+        return rank < config.hybrid_static_top;
+    }
+    return false;
+  };
+
+  std::vector<std::unique_ptr<DhbScheduler>> schedulers(
+      static_cast<size_t>(V));
+  std::vector<int> static_streams(static_cast<size_t>(V), 0);
+  for (int v = 0; v < V; ++v) {
+    if (is_static(v)) {
+      static_streams[static_cast<size_t>(v)] =
+          NpbMapping::streams_for(segments[static_cast<size_t>(v)]);
+    } else {
+      DhbConfig dhb;
+      dhb.num_segments = segments[static_cast<size_t>(v)];
+      schedulers[static_cast<size_t>(v)] =
+          std::make_unique<DhbScheduler>(dhb);
+    }
+  }
+
+  Rng rng(config.seed);
+  const ZipfDistribution zipf(V, config.zipf_exponent);
+  PoissonProcess arrivals(per_hour(config.total_requests_per_hour),
+                          rng.fork(1));
+  Rng routing = rng.fork(2);
+
+  MultiVideoResult result;
+  result.per_video_avg.assign(static_cast<size_t>(V), 0.0);
+  result.per_video_requests.assign(static_cast<size_t>(V), 0);
+
+  RunningStats aggregate;
+  RunningStats aggregate_kbs;
+  std::vector<double> per_video_sum(static_cast<size_t>(V), 0.0);
+  uint64_t measured_slots = 0;
+  double next_arrival = arrivals.next();
+
+  for (uint64_t step = 1; step <= total_slots; ++step) {
+    const bool measuring = step > warmup_slots;
+    int total = 0;
+    double total_kbs = 0.0;
+    for (int v = 0; v < V; ++v) {
+      const size_t idx = static_cast<size_t>(v);
+      int streams;
+      if (is_static(v)) {
+        streams = static_streams[idx];  // always on, demand or not
+      } else {
+        streams = static_cast<int>(schedulers[idx]->advance_slot().size());
+      }
+      total += streams;
+      total_kbs += streams * rate_kbs[idx];
+      if (measuring) per_video_sum[idx] += streams;
+    }
+    if (measuring) {
+      aggregate.add(total);
+      aggregate_kbs.add(total_kbs);
+      ++measured_slots;
+    }
+
+    const double slot_end = static_cast<double>(step) * d;
+    while (next_arrival < slot_end) {
+      const int v = zipf.sample(routing);
+      if (!is_static(v)) schedulers[static_cast<size_t>(v)]->on_request();
+      if (measuring) {
+        ++result.requests;
+        ++result.per_video_requests[static_cast<size_t>(v)];
+      }
+      next_arrival = arrivals.next();
+    }
+  }
+
+  result.avg_streams = aggregate.mean();
+  result.max_streams = aggregate.max();
+  result.avg_kbs = aggregate_kbs.mean();
+  result.max_kbs = aggregate_kbs.max();
+  for (int v = 0; v < V; ++v) {
+    result.per_video_avg[static_cast<size_t>(v)] =
+        per_video_sum[static_cast<size_t>(v)] /
+        static_cast<double>(measured_slots);
+  }
+  return result;
+}
+
+}  // namespace vod

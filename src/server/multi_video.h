@@ -1,0 +1,70 @@
+// A multi-video VOD server.
+//
+// §4 of the paper ends with the observation that a video's channel
+// bandwidth b should be chosen at least as large as its minimum rate so
+// that "the empty slots could be shared by other videos". This module
+// builds that server: a catalog of videos, all slotted on a common slot
+// duration, each distributed by its own policy —
+//
+//   kDhb    — a DhbScheduler per video (the paper's protocol),
+//   kStatic — an always-on static broadcast using the fewest streams the
+//             NPB packer needs for the video's segment count,
+//   kHybrid — static for the hottest `hybrid_static_top` ranks, DHB for
+//             the long tail (what an operator who distrusts dynamic
+//             protocols for the head of the catalog would deploy).
+//
+// Requests arrive as one Poisson stream thinned over the catalog by a
+// Zipf popularity distribution. The server reports aggregate and
+// per-video bandwidth; with a shared channel pool the aggregate maximum
+// is what the operator must provision.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dhb.h"
+#include "sim/zipf.h"
+
+namespace vod {
+
+enum class VideoPolicy { kDhb, kStatic, kHybrid };
+
+struct MultiVideoConfig {
+  int catalog_size = 20;
+  // Default segment count; every video uses it unless per_video_segments
+  // overrides. All videos share the slot duration (the server's channel
+  // slotting), so segment count == video length in slots.
+  int num_segments = 99;
+  double slot_duration_s = 72.7;  // the paper's two-hour/99-segment slot
+  double zipf_exponent = 0.729;   // classic video-rental skew
+  double total_requests_per_hour = 200.0;
+  double warmup_hours = 8.0;
+  double measured_hours = 150.0;
+  VideoPolicy policy = VideoPolicy::kDhb;
+  int hybrid_static_top = 3;  // kHybrid: ranks served statically
+
+  // Heterogeneous catalogs (§4: each video gets a channel bandwidth b at
+  // least its own minimum). When non-empty, both vectors must have
+  // catalog_size entries: per-video lengths in slots, and per-video stream
+  // rates in KB/s (for the aggregate KB/s accounting). Empty means the
+  // homogeneous defaults (rate 1.0 "unit b" per stream).
+  std::vector<int> per_video_segments;
+  std::vector<double> per_video_rate_kbs;
+
+  uint64_t seed = 42;
+};
+
+struct MultiVideoResult {
+  double avg_streams = 0.0;        // aggregate time-average, stream count
+  double max_streams = 0.0;        // aggregate per-slot maximum
+  double avg_kbs = 0.0;            // aggregate in KB/s (rate-weighted)
+  double max_kbs = 0.0;
+  uint64_t requests = 0;
+  std::vector<double> per_video_avg;      // streams, one entry per rank
+  std::vector<uint64_t> per_video_requests;
+};
+
+MultiVideoResult run_multi_video_simulation(const MultiVideoConfig& config);
+
+}  // namespace vod

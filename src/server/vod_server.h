@@ -1,0 +1,87 @@
+// A session-oriented VOD server for one video.
+//
+// VodServer is the deployment-shaped wrapper around DhbScheduler: it
+// advances the slot clock, assigns each transmitted segment instance to a
+// concrete channel, and manages client sessions with the VCR operations
+// the protocol supports —
+//
+//   start()   admit a client (watches S_1..S_n, one segment per slot);
+//   pause()   freeze playback; the client stops consuming (transmissions
+//             already scheduled are never cancelled — other clients may
+//             share them);
+//   resume()  re-admit the client from its next unwatched segment via the
+//             scheduler's suffix admission (on_resume);
+//   stop()    abandon the session.
+//
+// Every (re-)admission is verified against the playout contract at the
+// moment it happens; `SessionInfo::playout_ok` accumulates the result.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dhb.h"
+#include "schedule/types.h"
+
+namespace vod {
+
+struct ServerTransmission {
+  int channel = 0;     // 0-based channel carrying this instance
+  Segment segment = 0;
+};
+
+class VodServer {
+ public:
+  using ClientId = uint64_t;
+
+  enum class SessionState { kWatching, kPaused, kFinished, kStopped };
+
+  struct SessionInfo {
+    SessionState state = SessionState::kWatching;
+    Segment next_segment = 1;   // first segment not yet watched
+    Slot admitted_slot = 0;     // slot of the latest (re-)admission
+    bool playout_ok = true;     // every (re-)admission met its deadlines
+    int resumes = 0;
+  };
+
+  explicit VodServer(const DhbConfig& config);
+
+  // Advances one slot: returns the channel/segment pairs transmitted
+  // during the new current slot and moves every watching session forward
+  // by one segment.
+  std::vector<ServerTransmission> advance_slot();
+
+  // Admits a new client during the current slot.
+  ClientId start();
+
+  // VCR operations; ids must name live sessions.
+  void pause(ClientId id);
+  void resume(ClientId id);
+  void stop(ClientId id);
+
+  const SessionInfo& session(ClientId id) const;
+  Slot current_slot() const { return scheduler_.current_slot(); }
+  int num_segments() const { return scheduler_.num_segments(); }
+
+  // Sessions currently watching or paused.
+  int active_sessions() const;
+  // Channels busy during the current slot / the most ever needed at once.
+  int channels_in_use() const { return channels_in_use_; }
+  int peak_channels() const { return peak_channels_; }
+  uint64_t total_transmissions() const { return total_transmissions_; }
+
+  const DhbScheduler& scheduler() const { return scheduler_; }
+
+ private:
+  SessionInfo& live_session(ClientId id);
+
+  DhbScheduler scheduler_;
+  std::unordered_map<ClientId, SessionInfo> sessions_;
+  ClientId next_id_ = 1;
+  int channels_in_use_ = 0;
+  int peak_channels_ = 0;
+  uint64_t total_transmissions_ = 0;
+};
+
+}  // namespace vod

@@ -1,0 +1,77 @@
+#include "sim/arrival_process.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace vod {
+
+PoissonProcess::PoissonProcess(double rate, Rng rng)
+    : rate_(rate), rng_(rng) {
+  VOD_CHECK(rate > 0.0);
+}
+
+double PoissonProcess::next() {
+  now_ += rng_.exponential(rate_);
+  return now_;
+}
+
+NonHomogeneousPoissonProcess::NonHomogeneousPoissonProcess(
+    std::function<double(double)> rate, double max_rate, Rng rng)
+    : rate_(std::move(rate)), max_rate_(max_rate), rng_(rng) {
+  VOD_CHECK(max_rate_ > 0.0);
+}
+
+double NonHomogeneousPoissonProcess::next() {
+  // Thinning: propose at max_rate, accept with probability rate(t)/max_rate.
+  for (;;) {
+    now_ += rng_.exponential(max_rate_);
+    const double r = rate_(now_);
+    VOD_CHECK_MSG(r <= max_rate_ * (1.0 + 1e-9),
+                  "rate(t) exceeds declared max_rate");
+    if (r > 0.0 && rng_.uniform() < r / max_rate_) return now_;
+  }
+}
+
+ScriptedArrivals::ScriptedArrivals(std::vector<double> times)
+    : times_(std::move(times)) {
+  for (size_t i = 1; i < times_.size(); ++i) {
+    VOD_CHECK_MSG(times_[i] > times_[i - 1],
+                  "scripted arrivals must be strictly increasing");
+  }
+}
+
+double ScriptedArrivals::next() {
+  if (idx_ >= times_.size()) return std::numeric_limits<double>::infinity();
+  return times_[idx_++];
+}
+
+PeriodicArrivals::PeriodicArrivals(double start, double period)
+    : next_(start), period_(period) {
+  VOD_CHECK(period > 0.0);
+}
+
+double PeriodicArrivals::next() {
+  const double t = next_;
+  next_ += period_;
+  return t;
+}
+
+std::function<double(double)> daily_demand_curve(double off_peak_per_hour,
+                                                 double peak_per_hour) {
+  VOD_CHECK(off_peak_per_hour >= 0.0);
+  VOD_CHECK(peak_per_hour >= off_peak_per_hour);
+  const double lo = per_hour(off_peak_per_hour);
+  const double hi = per_hour(peak_per_hour);
+  return [lo, hi](double t) {
+    const double day = 24.0 * 3600.0;
+    const double tod = std::fmod(t, day) / day;  // 0..1, 0 = midnight
+    // Sinusoid with its peak at 21:00 and trough at 09:00.
+    const double phase = 2.0 * M_PI * (tod - 21.0 / 24.0);
+    const double w = 0.5 * (1.0 + std::cos(phase));  // 1 at peak, 0 at trough
+    return lo + (hi - lo) * w;
+  };
+}
+
+}  // namespace vod

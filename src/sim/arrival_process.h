@@ -1,0 +1,92 @@
+// Request arrival processes.
+//
+// The paper evaluates every protocol against Poisson request arrivals for a
+// single video, sweeping the rate from 1 to 1000 requests per hour. We also
+// provide a non-homogeneous (time-varying) Poisson process — the paper's
+// motivation section argues demand varies widely with the time of day — and
+// deterministic/scripted processes for unit tests and worked examples.
+//
+// Times are in seconds throughout the library; rates are in requests/second
+// unless a name says otherwise.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace vod {
+
+// Pull-based arrival stream: next() returns strictly increasing absolute
+// arrival times, or a value > horizon when exhausted.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  // Absolute time of the next arrival after the previous one returned.
+  // Returns infinity when the process has no further arrivals.
+  virtual double next() = 0;
+};
+
+// Homogeneous Poisson process with the given rate (requests/second).
+class PoissonProcess final : public ArrivalProcess {
+ public:
+  PoissonProcess(double rate, Rng rng);
+  double next() override;
+
+ private:
+  double rate_;
+  double now_ = 0.0;
+  Rng rng_;
+};
+
+// Non-homogeneous Poisson process via Lewis–Shedler thinning.
+// `rate(t)` must be bounded above by `max_rate` for all t.
+class NonHomogeneousPoissonProcess final : public ArrivalProcess {
+ public:
+  NonHomogeneousPoissonProcess(std::function<double(double)> rate,
+                               double max_rate, Rng rng);
+  double next() override;
+
+ private:
+  std::function<double(double)> rate_;
+  double max_rate_;
+  double now_ = 0.0;
+  Rng rng_;
+};
+
+// Fixed, pre-scripted arrival times (strictly for tests/examples).
+class ScriptedArrivals final : public ArrivalProcess {
+ public:
+  explicit ScriptedArrivals(std::vector<double> times);
+  double next() override;
+
+ private:
+  std::vector<double> times_;
+  size_t idx_ = 0;
+};
+
+// Deterministic arrivals with a fixed period starting at `start`.
+class PeriodicArrivals final : public ArrivalProcess {
+ public:
+  PeriodicArrivals(double start, double period);
+  double next() override;
+
+ private:
+  double next_;
+  double period_;
+};
+
+// Convenience conversions for the paper's units.
+inline double per_hour(double requests_per_hour) {
+  return requests_per_hour / 3600.0;
+}
+
+// A 24-hour demand curve of the kind §1 motivates: peaks in the evening,
+// trough in the early morning. Returns requests/second at time-of-day t
+// (seconds, wraps every 24 h). peak/off_peak are requests/hour.
+std::function<double(double)> daily_demand_curve(double off_peak_per_hour,
+                                                 double peak_per_hour);
+
+}  // namespace vod

@@ -1,0 +1,60 @@
+#include "sim/batch_means.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace vod {
+
+BatchMeans::BatchMeans(uint64_t samples_per_batch)
+    : batch_size_(samples_per_batch) {
+  VOD_CHECK(samples_per_batch > 0);
+}
+
+void BatchMeans::add(double x) {
+  batch_sum_ += x;
+  if (++in_batch_ == batch_size_) {
+    means_.push_back(batch_sum_ / static_cast<double>(batch_size_));
+    batch_sum_ = 0.0;
+    in_batch_ = 0;
+  }
+}
+
+ConfidenceInterval BatchMeans::interval95() const {
+  ConfidenceInterval ci;
+  ci.batches = means_.size();
+  if (means_.empty()) {
+    ci.half_width = std::numeric_limits<double>::infinity();
+    return ci;
+  }
+  double sum = 0.0;
+  for (double m : means_) sum += m;
+  ci.mean = sum / static_cast<double>(means_.size());
+  if (means_.size() < 2) {
+    ci.half_width = std::numeric_limits<double>::infinity();
+    return ci;
+  }
+  double ss = 0.0;
+  for (double m : means_) ss += (m - ci.mean) * (m - ci.mean);
+  const double var = ss / static_cast<double>(means_.size() - 1);
+  const double se = std::sqrt(var / static_cast<double>(means_.size()));
+  ci.half_width = student_t_975(means_.size() - 1) * se;
+  return ci;
+}
+
+double student_t_975(uint64_t df) {
+  static constexpr double kTable[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+      2.262,  2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+      2.101,  2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+      2.052,  2.048,  2.045, 2.042};
+  if (df == 0) return std::numeric_limits<double>::infinity();
+  if (df <= 30) return kTable[df];
+  if (df <= 40) return 2.021;
+  if (df <= 60) return 2.000;
+  if (df <= 120) return 1.980;
+  return 1.960;
+}
+
+}  // namespace vod

@@ -1,0 +1,48 @@
+// Batch-means confidence intervals for steady-state simulation output.
+//
+// A single long run is split into B equal batches; the batch means are
+// treated as (approximately) independent samples, giving a Student-t
+// confidence interval for the steady-state mean. This is the standard
+// output-analysis technique for the kind of open-loop simulations the paper
+// runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vod {
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;  // mean ± half_width
+  uint64_t batches = 0;
+
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+};
+
+class BatchMeans {
+ public:
+  // samples_per_batch fixes the batch size up front (simplest, predictable).
+  explicit BatchMeans(uint64_t samples_per_batch);
+
+  void add(double x);
+
+  // 95% CI over the completed batches. With fewer than 2 completed batches
+  // the half-width is reported as infinity.
+  ConfidenceInterval interval95() const;
+
+  uint64_t completed_batches() const { return means_.size(); }
+
+ private:
+  uint64_t batch_size_;
+  uint64_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  std::vector<double> means_;
+};
+
+// Two-sided Student-t 0.975 quantile for `df` degrees of freedom (exact
+// table for small df, normal tail beyond).
+double student_t_975(uint64_t df);
+
+}  // namespace vod

@@ -1,0 +1,48 @@
+#include "sim/event_queue.h"
+
+#include "util/check.h"
+
+namespace vod {
+
+EventId EventQueue::schedule(double t, std::function<void()> fn) {
+  VOD_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
+  VOD_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // The heap entry stays behind; skim() discards it lazily.
+  return handlers_.erase(id) > 0;
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty() && !handlers_.contains(heap_.top().id)) heap_.pop();
+}
+
+bool EventQueue::step() {
+  skim();
+  if (heap_.empty()) return false;
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = handlers_.find(e.id);
+  VOD_CHECK(it != handlers_.end());
+  std::function<void()> fn = std::move(it->second);
+  handlers_.erase(it);
+  now_ = e.time;
+  fn();
+  return true;
+}
+
+void EventQueue::run_until(double until) {
+  for (;;) {
+    skim();
+    if (heap_.empty() || heap_.top().time > until) break;
+    step();
+  }
+  if (until > now_) now_ = until;
+}
+
+}  // namespace vod

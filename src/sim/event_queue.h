@@ -1,0 +1,60 @@
+// Discrete-event simulation core.
+//
+// The continuous-time reactive protocols (stream tapping, patching,
+// batching) run on this engine; the slotted protocols (DHB, UD, dNPB, and
+// the static mappings) advance slot-by-slot and only use the engine when
+// mixed with continuous processes. Events are (time, sequence)-ordered so
+// simultaneous events fire in scheduling order, which keeps runs
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace vod {
+
+using EventId = uint64_t;
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `t` (must be >= now()). Returns an id
+  // that can be used to cancel the event before it fires.
+  EventId schedule(double t, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a
+  // no-op and returns false.
+  bool cancel(EventId id);
+
+  // Fires events in time order until the queue is empty or the next event is
+  // after `until`. The clock ends at max(now, until).
+  void run_until(double until);
+
+  // Fires exactly one event if any exists; returns false when empty.
+  bool step();
+
+  double now() const { return now_; }
+  bool empty() const { return handlers_.empty(); }
+  size_t pending() const { return handlers_.size(); }
+
+ private:
+  struct Entry {
+    double time;
+    EventId id;
+    bool operator>(const Entry& o) const {
+      return time > o.time || (time == o.time && id > o.id);
+    }
+  };
+
+  // Drops heap entries whose handler was cancelled.
+  void skim();
+
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+};
+
+}  // namespace vod

@@ -1,0 +1,129 @@
+#include "sim/random.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vod {
+namespace {
+
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64::next() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+uint64_t Rng::uniform_index(uint64_t n) {
+  VOD_CHECK(n > 0);
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    const uint64_t t = -n % n;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double rate) {
+  VOD_CHECK(rate > 0.0);
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::normal() {
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 == 0.0);
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+uint64_t Rng::poisson(double mean) {
+  VOD_CHECK(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean <= 64.0) {
+    // Knuth: multiply uniforms until below exp(-mean).
+    const double limit = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // high-arrival-rate regimes simulated here (mean counts per slot).
+  const double v = normal(mean, std::sqrt(mean));
+  return v <= 0.0 ? 0 : static_cast<uint64_t>(v + 0.5);
+}
+
+uint64_t Rng::geometric(double p) {
+  VOD_CHECK(p > 0.0 && p <= 1.0);
+  if (p == 1.0) return 0;
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+Rng Rng::fork(uint64_t stream_id) const {
+  // Derive a decorrelated seed from (seed, stream_id) via SplitMix64 mixing.
+  SplitMix64 sm(seed_ ^ (0x6a09e667f3bcc909ULL + stream_id * 0x9e3779b97f4a7c15ULL));
+  sm.next();
+  return Rng(sm.next());
+}
+
+}  // namespace vod

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random substrate.
+//
+// Everything stochastic in the library draws from Rng, a xoshiro256**
+// generator seeded through SplitMix64 so that a single 64-bit seed fully
+// determines a simulation run. std::mt19937 is avoided on purpose: its
+// distributions differ across standard libraries, which would make the
+// regenerated tables non-portable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace vod {
+
+// SplitMix64 — used for seed expansion and as a cheap standalone generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+  uint64_t next();
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256** 1.0 (Blackman & Vigna). Fast, high quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Raw 64 random bits.
+  uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0. Rejection-free Lemire trick.
+  uint64_t uniform_index(uint64_t n);
+
+  // Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  // Standard normal via Box–Muller (no cached spare; stateless wrt stream).
+  double normal();
+  double normal(double mean, double stddev);
+
+  // Lognormal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  // Poisson with the given mean. Uses Knuth for small means and
+  // normal approximation with rounding for large ones (mean > 64).
+  uint64_t poisson(double mean);
+
+  // Geometric: number of failures before first success, p in (0, 1].
+  uint64_t geometric(double p);
+
+  // Forks an independent generator for a named sub-stream.
+  Rng fork(uint64_t stream_id) const;
+
+ private:
+  std::array<uint64_t, 4> s_{};
+  uint64_t seed_ = 0;
+};
+
+}  // namespace vod

@@ -1,0 +1,99 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vod {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::add_n(double x, uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) add(x);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void TimeWeightedStats::set(double t, double v) {
+  VOD_CHECK_MSG(t >= last_t_, "time must be non-decreasing");
+  if (has_value_) weighted_sum_ += value_ * (t - last_t_);
+  value_ = v;
+  has_value_ = true;
+  max_ = std::max(max_, v);
+  last_t_ = t;
+}
+
+TimeWeightedStats& TimeWeightedStats::finish(double t_end) {
+  VOD_CHECK(t_end >= last_t_);
+  if (has_value_) weighted_sum_ += value_ * (t_end - last_t_);
+  last_t_ = t_end;
+  return *this;
+}
+
+double TimeWeightedStats::mean() const {
+  const double span = last_t_ - start_;
+  return span > 0.0 ? weighted_sum_ / span : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      bins_(bins, 0) {
+  VOD_CHECK(hi > lo);
+  VOD_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) {
+  double idx = (x - lo_) / width_;
+  size_t i = 0;
+  if (idx >= static_cast<double>(bins_.size())) {
+    i = bins_.size() - 1;
+  } else if (idx > 0.0) {
+    i = static_cast<size_t>(idx);
+  }
+  ++bins_[i];
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  VOD_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    cum += static_cast<double>(bins_[i]);
+    if (cum >= target) return lo_ + width_ * static_cast<double>(i + 1);
+  }
+  return hi_;
+}
+
+}  // namespace vod

@@ -1,0 +1,88 @@
+// Streaming statistics accumulators.
+//
+// Welford's algorithm for numerically stable mean/variance, plus min/max,
+// a fixed-bin histogram, and a time-weighted accumulator for piecewise-
+// constant signals (the instantaneous server bandwidth of the reactive
+// protocols is exactly such a signal).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace vod {
+
+class RunningStats {
+ public:
+  void add(double x);
+  void add_n(double x, uint64_t n);
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  void merge(const RunningStats& other);
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Time-weighted average of a piecewise-constant signal. Call set(t, v) at
+// every change point; finish(t_end) closes the last segment.
+class TimeWeightedStats {
+ public:
+  explicit TimeWeightedStats(double t0 = 0.0) : last_t_(t0), start_(t0) {}
+
+  // Records that the signal takes value v from time t onward. t must be
+  // non-decreasing.
+  void set(double t, double v);
+
+  // Closes the final segment at t_end and returns *this for chaining.
+  TimeWeightedStats& finish(double t_end);
+
+  double mean() const;
+  double max() const { return has_value_ ? max_ : 0.0; }
+  double elapsed() const { return last_t_ - start_; }
+
+ private:
+  double last_t_;
+  double start_;
+  double value_ = 0.0;
+  bool has_value_ = false;
+  double weighted_sum_ = 0.0;
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+// edge bins. Used for bandwidth distribution plots and tail statistics.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void add(double x);
+  uint64_t count() const { return total_; }
+  // Smallest value v such that at least `q` fraction of samples are <= v
+  // (bin upper edge; exact to bin resolution).
+  double quantile(double q) const;
+  const std::vector<uint64_t>& bins() const { return bins_; }
+  double bin_width() const { return width_; }
+  double lo() const { return lo_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<uint64_t> bins_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace vod

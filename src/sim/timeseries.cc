@@ -1,0 +1,18 @@
+#include "sim/timeseries.h"
+
+namespace vod {
+
+SlotSeries::SlotSeries(uint64_t warmup_slots, bool keep_samples)
+    : warmup_(warmup_slots), keep_samples_(keep_samples) {}
+
+void SlotSeries::add(double v) {
+  if (seen_ < warmup_) {
+    ++seen_;
+    return;
+  }
+  ++seen_;
+  stats_.add(v);
+  if (keep_samples_) samples_.push_back(v);
+}
+
+}  // namespace vod

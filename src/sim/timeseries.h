@@ -1,0 +1,40 @@
+// Slot-indexed time series with warmup trimming.
+//
+// Slotted protocols produce one bandwidth sample per slot. SlotSeries
+// collects them, discards a configurable warmup prefix, and reports the
+// summary statistics the paper's figures plot (time average and maximum,
+// both in multiples of the video consumption rate b).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace vod {
+
+class SlotSeries {
+ public:
+  // warmup_slots samples are absorbed but excluded from the statistics.
+  explicit SlotSeries(uint64_t warmup_slots = 0, bool keep_samples = false);
+
+  void add(double v);
+
+  uint64_t measured_count() const { return stats_.count(); }
+  double mean() const { return stats_.mean(); }
+  double max() const { return stats_.max(); }
+  double stddev() const { return stats_.stddev(); }
+  const RunningStats& stats() const { return stats_; }
+
+  // Raw post-warmup samples; only retained when keep_samples was set.
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  uint64_t warmup_;
+  uint64_t seen_ = 0;
+  bool keep_samples_;
+  RunningStats stats_;
+  std::vector<double> samples_;
+};
+
+}  // namespace vod

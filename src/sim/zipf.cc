@@ -1,0 +1,35 @@
+#include "sim/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vod {
+
+ZipfDistribution::ZipfDistribution(int n, double s) {
+  VOD_CHECK(n >= 1);
+  VOD_CHECK(s >= 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i), s);
+    cdf_[static_cast<size_t>(i - 1)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+int ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(it - cdf_.begin());
+}
+
+double ZipfDistribution::probability(int item) const {
+  VOD_CHECK(item >= 0 && item < size());
+  const size_t i = static_cast<size_t>(item);
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace vod

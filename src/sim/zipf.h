@@ -1,0 +1,34 @@
+// Zipf-like popularity distribution over a video catalog.
+//
+// VOD request popularity is classically modelled as Zipf with a small skew
+// parameter (Dan, Sitaram & Shahabuddin use theta = 0.271 for rental
+// data): P(rank i) proportional to 1 / i^(1 - theta)... conventions vary,
+// so this class takes the exponent s directly: P(i) ~ 1 / i^s, i = 1..n,
+// with s = 0 uniform and s ~ 0.729 matching the classic video-rental fit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace vod {
+
+class ZipfDistribution {
+ public:
+  // n items ranked 1..n (returned 0-based), exponent s >= 0.
+  ZipfDistribution(int n, double s);
+
+  // Samples a 0-based item index.
+  int sample(Rng& rng) const;
+
+  // Probability of the 0-based item index.
+  double probability(int item) const;
+
+  int size() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1
+};
+
+}  // namespace vod

@@ -1,0 +1,40 @@
+// Checked-assertion macros used across the library.
+//
+// VOD_CHECK is always on (simulation correctness beats raw speed; the
+// simulations here are tiny compared to what a laptop can do). VOD_DCHECK
+// compiles out in release builds and is used on hot inner loops only.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vod::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "VOD_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace vod::detail
+
+#define VOD_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::vod::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                \
+  } while (0)
+
+#define VOD_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::vod::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define VOD_DCHECK(expr) ((void)0)
+#else
+#define VOD_DCHECK(expr) VOD_CHECK(expr)
+#endif

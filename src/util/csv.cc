@@ -1,0 +1,62 @@
+#include "util/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace vod {
+
+bool write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  if (!header.empty()) {
+    for (size_t c = 0; c < header.size(); ++c) {
+      out << (c ? "," : "") << header[c];
+    }
+    out << '\n';
+  }
+  out.precision(12);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) out << (c ? "," : "") << row[c];
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool read_csv(const std::string& path, std::vector<std::vector<double>>* rows) {
+  std::ifstream in(path);
+  if (!in) return false;
+  rows->clear();
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string cell;
+    bool ok = true;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) {
+        ok = false;
+        break;
+      }
+      row.push_back(v);
+    }
+    if (!ok) {
+      // Allow exactly one header line.
+      if (first) {
+        first = false;
+        continue;
+      }
+      return false;
+    }
+    first = false;
+    rows->push_back(std::move(row));
+  }
+  return true;
+}
+
+}  // namespace vod

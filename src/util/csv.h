@@ -1,0 +1,20 @@
+// Minimal CSV reader/writer for numeric column data (VBR traces, bench
+// output). No quoting support — the library only ever emits plain numbers
+// and identifiers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vod {
+
+// Writes rows of doubles with an optional header line. Returns false on I/O
+// failure.
+bool write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows);
+
+// Reads a numeric CSV. If the first line fails to parse as numbers it is
+// treated as a header and skipped. Returns false on I/O failure.
+bool read_csv(const std::string& path, std::vector<std::vector<double>>* rows);
+
+}  // namespace vod

@@ -1,0 +1,41 @@
+// Fixed-width console table writer used by the benchmark and example
+// binaries to print paper-style tables (one row per arrival rate, one
+// column per protocol).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vod {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends a row. Cells beyond the header count are dropped; missing cells
+  // render empty.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 3);
+
+  // Renders the table with aligned columns and a header rule.
+  std::string to_string() const;
+
+  // Renders as comma-separated values (headers first).
+  std::string to_csv() const;
+
+  // Prints to stdout.
+  void print() const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision, trimming to a compact width.
+std::string format_double(double v, int precision = 3);
+
+}  // namespace vod

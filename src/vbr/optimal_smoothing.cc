@@ -1,0 +1,134 @@
+#include "vbr/optimal_smoothing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace vod {
+
+double SmoothingPlan::peak_rate_kbs() const {
+  double peak = 0.0;
+  for (const RateSegment& s : segments) peak = std::max(peak, s.rate_kbs);
+  return peak;
+}
+
+double SmoothingPlan::cumulative_kb(double t) const {
+  double total = 0.0;
+  for (const RateSegment& s : segments) {
+    if (t <= s.start_s) break;
+    total += s.rate_kbs * (std::min(t, s.end_s) - s.start_s);
+  }
+  return total;
+}
+
+SmoothingPlan optimal_smoothing_plan(const VbrTrace& trace, double buffer_kb,
+                                     double startup_delay_s) {
+  VOD_CHECK(buffer_kb > 0.0);
+  VOD_CHECK(startup_delay_s >= 1.0);
+  const int delay = static_cast<int>(std::llround(startup_delay_s));
+  const int T = trace.duration_s() + delay;  // wall-clock horizon
+
+  // Corridor on the integer grid. L[t] = bytes that must have arrived by
+  // wall t; U[t] = L[t] + B capped at the total (no point transmitting
+  // past the end of the video).
+  std::vector<double> lower(static_cast<size_t>(T) + 1);
+  std::vector<double> upper(static_cast<size_t>(T) + 1);
+  const double total = trace.total_kb();
+  for (int t = 0; t <= T; ++t) {
+    const double c = trace.cumulative_kb(t - delay);
+    lower[static_cast<size_t>(t)] = c;
+    upper[static_cast<size_t>(t)] = std::min(c + buffer_kb, total);
+  }
+  lower[static_cast<size_t>(T)] = total;  // the whole video must arrive
+  for (int t = 0; t <= T; ++t) {
+    VOD_CHECK_MSG(lower[static_cast<size_t>(t)] <=
+                      upper[static_cast<size_t>(t)] + 1e-9,
+                  "buffer too small for any feasible schedule");
+  }
+
+  // Taut string: from anchor (t0, s0), extend while some slope fits under
+  // every upper constraint and over every lower constraint; on conflict,
+  // emit the segment ending at the binding point.
+  SmoothingPlan plan;
+  int t0 = 0;
+  double s0 = 0.0;
+  while (t0 < T) {
+    double hi = std::numeric_limits<double>::infinity();
+    double lo = -std::numeric_limits<double>::infinity();
+    int hi_t = t0, lo_t = t0;
+    bool emitted = false;
+    for (int t = t0 + 1; t <= T; ++t) {
+      const double dt = static_cast<double>(t - t0);
+      const double hi_c = (upper[static_cast<size_t>(t)] - s0) / dt;
+      const double lo_c = (lower[static_cast<size_t>(t)] - s0) / dt;
+      bool lo_moved = false;
+      if (hi_c < hi) {
+        hi = hi_c;
+        hi_t = t;
+      }
+      if (lo_c > lo) {
+        lo = lo_c;
+        lo_t = t;
+        lo_moved = true;
+      }
+      if (lo > hi + 1e-12) {
+        // The corridor pinched. If the lower curve moved last, the rate
+        // must increase after the tightest upper point: emit at rate hi up
+        // to hi_t. Otherwise the rate must decrease after the tightest
+        // lower point: emit at rate lo up to lo_t.
+        const int cut = lo_moved ? hi_t : lo_t;
+        const double rate = lo_moved ? hi : lo;
+        plan.segments.push_back(RateSegment{static_cast<double>(t0),
+                                            static_cast<double>(cut), rate});
+        s0 += rate * static_cast<double>(cut - t0);
+        t0 = cut;
+        emitted = true;
+        break;
+      }
+    }
+    if (!emitted) {
+      // The rest of the corridor admits one straight piece; take the
+      // lowest feasible slope (it must still reach every lower point,
+      // including the total at T).
+      plan.segments.push_back(
+          RateSegment{static_cast<double>(t0), static_cast<double>(T), lo});
+      t0 = T;
+    }
+  }
+
+  // Merge adjacent pieces with equal rates (the cut bookkeeping can split
+  // a straight line).
+  std::vector<RateSegment> merged;
+  for (const RateSegment& s : plan.segments) {
+    if (!merged.empty() &&
+        std::fabs(merged.back().rate_kbs - s.rate_kbs) < 1e-9) {
+      merged.back().end_s = s.end_s;
+    } else {
+      merged.push_back(s);
+    }
+  }
+  plan.segments = std::move(merged);
+  return plan;
+}
+
+bool verify_smoothing_plan(const VbrTrace& trace, double buffer_kb,
+                           double startup_delay_s,
+                           const SmoothingPlan& plan) {
+  const int delay = static_cast<int>(std::llround(startup_delay_s));
+  const int T = trace.duration_s() + delay;
+  if (std::llround(plan.end_s()) != T) return false;
+  for (int t = 0; t <= T; ++t) {
+    const double s = plan.cumulative_kb(t);
+    const double need =
+        t == T ? trace.total_kb() : trace.cumulative_kb(t - delay);
+    if (s + 1e-6 < need) return false;                       // underflow
+    if (s > trace.cumulative_kb(t - delay) + buffer_kb + 1e-6) {
+      return false;                                          // overflow
+    }
+  }
+  return true;
+}
+
+}  // namespace vod

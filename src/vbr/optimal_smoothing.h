@@ -1,0 +1,56 @@
+// Optimal work-ahead smoothing (Salehi, Zhang, Kurose & Towsley, SIGMETRICS
+// '96 — reference [18] of the paper, and the tool for its §5 future-work
+// item: "investigate how we could reduce or eliminate bandwidth peaks
+// without increasing the average video bandwidth").
+//
+// Given a client buffer of B kilobytes and a start-up delay, the feasible
+// transmission schedules S(t) form a corridor
+//
+//     L(t) <= S(t) <= U(t),   L(t) = C(t - delay),  U(t) = L(t) + B,
+//
+// where C is the cumulative consumption curve (underflow below L, overflow
+// above U). The schedule minimizing the peak transmission rate — and among
+// those, the rate variability — is the shortest path through the corridor
+// (the "taut string"). This module computes it on the trace's one-second
+// grid.
+#pragma once
+
+#include <vector>
+
+#include "vbr/trace.h"
+
+namespace vod {
+
+struct RateSegment {
+  double start_s = 0.0;  // wall-clock start of this constant-rate piece
+  double end_s = 0.0;
+  double rate_kbs = 0.0;
+};
+
+struct SmoothingPlan {
+  std::vector<RateSegment> segments;  // contiguous, covering [0, end)
+
+  double peak_rate_kbs() const;
+  // Kilobytes transmitted by wall time t under the plan.
+  double cumulative_kb(double t) const;
+  double end_s() const {
+    return segments.empty() ? 0.0 : segments.back().end_s;
+  }
+  int rate_changes() const {
+    return segments.empty() ? 0 : static_cast<int>(segments.size()) - 1;
+  }
+};
+
+// Computes the taut-string schedule for the trace with the given client
+// buffer (KB) and start-up delay (seconds, >= 1 on the integer grid used
+// here). Smaller buffers narrow the corridor and raise the peak; the
+// degenerate limit simply replays the per-second consumption rates.
+SmoothingPlan optimal_smoothing_plan(const VbrTrace& trace, double buffer_kb,
+                                     double startup_delay_s);
+
+// True when L(t) <= plan <= U(t) at every grid point and the plan delivers
+// the whole video.
+bool verify_smoothing_plan(const VbrTrace& trace, double buffer_kb,
+                           double startup_delay_s, const SmoothingPlan& plan);
+
+}  // namespace vod

@@ -1,0 +1,62 @@
+#include "vbr/segmentation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "vbr/smoothing.h"
+
+namespace vod {
+
+std::vector<double> playback_segment_rates(const VbrTrace& trace,
+                                           double slot_s) {
+  VOD_CHECK(slot_s > 0.0);
+  const int n = static_cast<int>(
+      std::ceil(static_cast<double>(trace.duration_s()) / slot_s));
+  std::vector<double> rates;
+  rates.reserve(static_cast<size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const double lo = static_cast<double>(k) * slot_s;
+    const double hi = std::min(static_cast<double>(k + 1) * slot_s,
+                               static_cast<double>(trace.duration_s()));
+    rates.push_back((trace.cumulative_kb(hi) - trace.cumulative_kb(lo)) /
+                    slot_s);
+  }
+  return rates;
+}
+
+double max_segment_rate_kbs(const VbrTrace& trace, double slot_s) {
+  const std::vector<double> rates = playback_segment_rates(trace, slot_s);
+  VOD_CHECK(!rates.empty());
+  return *std::max_element(rates.begin(), rates.end());
+}
+
+std::vector<int> workahead_periods(const VbrTrace& trace, double slot_s,
+                                   double rate_kbs) {
+  VOD_CHECK(slot_s > 0.0 && rate_kbs > 0.0);
+  const int m = workahead_segment_count(trace, slot_s, rate_kbs);
+  const double seg_kb = rate_kbs * slot_s;
+  std::vector<int> periods;
+  periods.reserve(static_cast<size_t>(m));
+  int t = 1;
+  for (int k = 1; k <= m; ++k) {
+    // First slot t whose following-slot consumption needs k segments.
+    while (std::ceil(trace.cumulative_kb(static_cast<double>(t) * slot_s) /
+                         seg_kb -
+                     1e-9) < static_cast<double>(k)) {
+      ++t;
+      // Trailing segments are never "needed" before the video ends; they
+      // still must be delivered by the last consumption slot.
+      if (static_cast<double>(t) * slot_s >
+          static_cast<double>(trace.duration_s()) + slot_s) {
+        break;
+      }
+    }
+    periods.push_back(t);
+  }
+  VOD_CHECK(!periods.empty());
+  VOD_CHECK_MSG(periods[0] == 1, "T[1] must be 1");
+  return periods;
+}
+
+}  // namespace vod

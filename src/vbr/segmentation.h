@@ -1,0 +1,43 @@
+// Segment-level analysis of a VBR trace (paper §4).
+//
+// Two segmentations appear in §4:
+//  * playback segmentation (DHB-a/b): the video is cut by playback time
+//    into n = ceil(D / d) segments of d seconds of *content* each; the
+//    per-segment average bandwidths determine the DHB-b stream rate;
+//  * work-ahead packing (DHB-c/d): the video is cut by *bytes* into
+//    back-to-back segments of r*d KB (see smoothing.h); minimum
+//    transmission frequencies T[k] come from when each byte range is first
+//    consumed.
+#pragma once
+
+#include <vector>
+
+#include "vbr/trace.h"
+
+namespace vod {
+
+// Playback segmentation: per-segment average rates (KB/s) when the trace is
+// cut into ceil(duration / slot_s) content slices of slot_s seconds.
+std::vector<double> playback_segment_rates(const VbrTrace& trace,
+                                           double slot_s);
+
+// DHB-b stream rate: the maximum per-segment average rate — the smallest
+// constant stream bandwidth that delivers each whole segment within one
+// slot (paper: 789 KB/s for The Matrix).
+double max_segment_rate_kbs(const VbrTrace& trace, double slot_s);
+
+// Minimum transmission frequencies for the work-ahead packing (DHB-d).
+// Segment k (bytes ((k-1)..k) * rate*d) must be delivered by the end of
+// relative slot T[k], the last slot for which k segments still cover
+// consumption through the following slot:
+//
+//     T[k] = min { t >= 1 : ceil(C(t * d) / (rate * d)) >= k }.
+//
+// For a CBR trace this degenerates to T[k] = k; work-ahead surplus makes
+// T[k] > k for most k (the paper found delays of one to eight slots).
+// The result always satisfies T[1] = 1 and is verified against
+// verify_deadline_schedule by construction (checked in tests).
+std::vector<int> workahead_periods(const VbrTrace& trace, double slot_s,
+                                   double rate_kbs);
+
+}  // namespace vod

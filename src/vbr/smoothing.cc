@@ -1,0 +1,77 @@
+#include "vbr/smoothing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vod {
+
+double min_workahead_rate_kbs(const VbrTrace& trace, double slot_s) {
+  VOD_CHECK(slot_s > 0.0);
+  const int slots = static_cast<int>(
+      std::ceil(static_cast<double>(trace.duration_s()) / slot_s));
+  double rate = 0.0;
+  for (int t = 1; t <= slots + 1; ++t) {
+    const double needed = trace.cumulative_kb(static_cast<double>(t) * slot_s);
+    rate = std::max(rate, needed / (static_cast<double>(t) * slot_s));
+  }
+  return rate;
+}
+
+int workahead_segment_count(const VbrTrace& trace, double slot_s,
+                            double rate_kbs) {
+  VOD_CHECK(slot_s > 0.0 && rate_kbs > 0.0);
+  return static_cast<int>(std::ceil(trace.total_kb() / (rate_kbs * slot_s)));
+}
+
+double workahead_buffer_kb(const VbrTrace& trace, double slot_s,
+                           double rate_kbs) {
+  const int m = workahead_segment_count(trace, slot_s, rate_kbs);
+  double worst = 0.0;
+  for (int t = 1; t <= m + 1; ++t) {
+    const double delivered =
+        std::min(static_cast<double>(t) * rate_kbs * slot_s, trace.total_kb());
+    const double consumed =
+        trace.cumulative_kb(std::max(0.0, static_cast<double>(t - 1) * slot_s));
+    worst = std::max(worst, delivered - consumed);
+  }
+  return worst;
+}
+
+bool verify_deadline_schedule(const VbrTrace& trace, double slot_s,
+                              double rate_kbs,
+                              const std::vector<int>& deadlines) {
+  VOD_CHECK(slot_s > 0.0 && rate_kbs > 0.0);
+  for (size_t k = 1; k < deadlines.size(); ++k) {
+    VOD_CHECK_MSG(deadlines[k] >= deadlines[k - 1],
+                  "deadlines must be non-decreasing");
+  }
+  const double seg_kb = rate_kbs * slot_s;
+  const int last_slot =
+      deadlines.empty()
+          ? 0
+          : std::max(deadlines.back(),
+                     static_cast<int>(std::ceil(
+                         static_cast<double>(trace.duration_s()) / slot_s)) +
+                         2);
+  size_t delivered_segments = 0;
+  for (int t = 1; t <= last_slot; ++t) {
+    while (delivered_segments < deadlines.size() &&
+           deadlines[delivered_segments] <= t) {
+      ++delivered_segments;
+    }
+    const double delivered =
+        std::min(static_cast<double>(delivered_segments) * seg_kb,
+                 trace.total_kb());
+    // Delivered-by-end-of-slot-t must cover consumption through the end of
+    // slot t+1, i.e. C(t * d) (playback starts at slot 2).
+    const double consumed = trace.cumulative_kb(static_cast<double>(t) * slot_s);
+    if (delivered + 1e-6 < consumed) return false;
+  }
+  // The schedule must also deliver the entire video.
+  return static_cast<double>(deadlines.size()) * seg_kb + 1e-6 >=
+         trace.total_kb();
+}
+
+}  // namespace vod

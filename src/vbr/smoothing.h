@@ -1,0 +1,51 @@
+// Work-ahead smoothing (paper §4, citing Salehi et al.).
+//
+// Timeline used by all §4 variants (the DHB-b deadline model): a client is
+// served starting at relative slot 1 and begins playback at relative slot
+// 2, so data delivered by the end of relative slot t covers consumption
+// through the end of relative slot t + 1. With slot duration d seconds,
+// consumption by the end of relative slot t is C((t-1) * d) content-KB,
+// where C is the trace's cumulative curve.
+//
+// Smoothing question: if the server transmits back-to-back segments of
+// r * d kilobytes each (continuous use of a rate-r stream), what is the
+// minimum r such that a client receiving segment k by the end of relative
+// slot k never underflows? Segment k completes k*r*d delivered KB, which
+// must cover consumption through slot k + 1:
+//
+//     r >= max_t C(t * d) / (t * d).
+//
+// The work-ahead surplus this builds up is what lets DHB-c transmit fewer,
+// denser segments and DHB-d relax the per-segment minimum frequencies.
+#pragma once
+
+#include "vbr/trace.h"
+
+namespace vod {
+
+// Minimum constant stream rate (KB/s) for back-to-back segment packing with
+// per-segment deadline "segment k by end of relative slot k".
+// slot_s: slot duration d in seconds.
+double min_workahead_rate_kbs(const VbrTrace& trace, double slot_s);
+
+// Number of back-to-back segments of r*d KB needed to carry the whole
+// trace: ceil(total / (r * d)).
+int workahead_segment_count(const VbrTrace& trace, double slot_s,
+                            double rate_kbs);
+
+// Worst-case client buffer occupancy (KB) under the work-ahead schedule
+// when every segment arrives exactly at its deadline slot k: the maximum of
+// delivered-minus-consumed over slot boundaries. Measures the STB storage
+// the paper's "so much data would be received ahead of time" implies.
+double workahead_buffer_kb(const VbrTrace& trace, double slot_s,
+                           double rate_kbs);
+
+// Verifies that delivering segment k (of rate_kbs * slot_s KB) by the end
+// of relative slot deadline[k-1] never underflows the client: for every
+// slot t, delivered-by-t >= C(t * d). Returns true when feasible.
+// `deadlines` must be non-decreasing.
+bool verify_deadline_schedule(const VbrTrace& trace, double slot_s,
+                              double rate_kbs,
+                              const std::vector<int>& deadlines);
+
+}  // namespace vod

@@ -1,0 +1,166 @@
+#include "vbr/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/random.h"
+#include "util/check.h"
+
+namespace vod {
+namespace {
+
+double mean_of(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double max_of(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, x);
+  return m;
+}
+
+}  // namespace
+
+VbrTrace generate_synthetic_vbr(const SyntheticVbrParams& params) {
+  VOD_CHECK(params.duration_s > 0);
+  VOD_CHECK(params.peak_kbs > params.mean_kbs);
+  VOD_CHECK(params.mean_scene_s > 6.0);
+
+  Rng rng(params.seed);
+  const int T = params.duration_s;
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(T));
+
+  // Scene-structured base signal in units of the (uncalibrated) mean.
+  const int hot_until = static_cast<int>(params.hot_until_frac * T);
+  int t = 0;
+  while (t < T) {
+    int scene_len =
+        5 + static_cast<int>(rng.geometric(1.0 / (params.mean_scene_s - 5.0)));
+    // Scenes do not straddle regime boundaries (quiet -> action -> body):
+    // the quiet opening and the action sequence end exactly where declared.
+    for (int boundary : {params.quiet_opening_s, params.action_until_s}) {
+      if (t < boundary) scene_len = std::min(scene_len, boundary - t);
+    }
+    double level = rng.lognormal(0.0, params.scene_sigma);
+    if (t < params.quiet_opening_s) {
+      level = params.quiet_level * (0.9 + 0.2 * rng.uniform());
+    } else if (t < params.action_until_s) {
+      // Sustained action: pinned level (no scene lognormal) so the hottest
+      // minute of the movie sits at the action level, like the paper's
+      // 789 KB/s busiest segment.
+      level = params.action_level;
+    } else if (t < hot_until) {
+      level *= params.hot_gain;
+    } else {
+      level *= params.cool_gain;
+    }
+    for (int k = 0; k < scene_len && t < T; ++k, ++t) {
+      const double noise =
+          std::clamp(rng.normal(), -3.0, 3.0) * params.gop_jitter;
+      samples.push_back(std::max(0.05, level * (1.0 + noise)));
+    }
+  }
+
+  // Short action spikes: they set the one-second peak without moving the
+  // per-minute averages noticeably.
+  int spike_left = 0;
+  for (int s = params.quiet_opening_s; s < T; ++s) {
+    if (spike_left == 0 && rng.uniform() < params.spike_prob) {
+      spike_left = 2 + static_cast<int>(rng.uniform_index(4));  // 2..5 s
+    }
+    if (spike_left > 0) {
+      samples[static_cast<size_t>(s)] *= params.spike_gain;
+      --spike_left;
+    }
+  }
+
+  // Calibration: scale the whole signal to pin the mean, then linearly
+  // compress (or expand) only the tail above the knee to pin the peak.
+  // Both passes preserve the quiet/hot/cool structure; iterate to joint
+  // convergence.
+  for (int pass = 0; pass < 8; ++pass) {
+    const double scale = params.mean_kbs / mean_of(samples);
+    for (double& v : samples) v *= scale;
+    const double peak = max_of(samples);
+    if (std::fabs(peak - params.peak_kbs) <= 1e-9) continue;
+    // Pivot below both the current and the target peak so the same linear
+    // tail map compresses an over-shooting peak or stretches an
+    // under-shooting one.
+    const double pivot = 0.90 * std::min(peak, params.peak_kbs);
+    const double gain = (params.peak_kbs - pivot) / (peak - pivot);
+    for (double& v : samples) {
+      if (v > pivot) v = pivot + (v - pivot) * gain;
+    }
+  }
+
+  VbrTrace trace(std::move(samples));
+  VOD_CHECK_MSG(std::fabs(trace.mean_rate_kbs() - params.mean_kbs) < 1.0,
+                "mean calibration did not converge");
+  VOD_CHECK_MSG(std::fabs(trace.peak_rate_kbs(1) - params.peak_kbs) < 1.0,
+                "peak calibration did not converge");
+  return trace;
+}
+
+SyntheticVbrParams matrix_profile() { return SyntheticVbrParams{}; }
+
+SyntheticVbrParams action_profile() {
+  SyntheticVbrParams p;
+  p.duration_s = 6600;
+  p.mean_kbs = 780.0;
+  p.peak_kbs = 990.0;
+  p.quiet_opening_s = 60;
+  p.quiet_level = 0.6;
+  p.action_until_s = 600;
+  p.action_level = 1.12;
+  p.hot_gain = 1.0;
+  p.cool_gain = 1.0;
+  p.scene_sigma = 0.06;
+  p.spike_prob = 0.008;
+  p.spike_gain = 1.3;
+  p.seed = 4242;
+  return p;
+}
+
+SyntheticVbrParams drama_profile() {
+  SyntheticVbrParams p;
+  p.duration_s = 7800;
+  p.mean_kbs = 520.0;
+  p.peak_kbs = 650.0;
+  p.quiet_opening_s = 90;
+  p.quiet_level = 0.7;
+  p.action_until_s = 120;  // effectively no action opening
+  p.action_level = 1.0;
+  p.hot_gain = 1.0;
+  p.cool_gain = 1.0;
+  p.mean_scene_s = 70.0;
+  p.scene_sigma = 0.03;
+  p.gop_jitter = 0.03;
+  p.spike_prob = 0.001;
+  p.spike_gain = 1.2;
+  p.seed = 777;
+  return p;
+}
+
+SyntheticVbrParams documentary_profile() {
+  SyntheticVbrParams p;
+  p.duration_s = 5400;
+  p.mean_kbs = 560.0;
+  p.peak_kbs = 900.0;
+  p.quiet_opening_s = 120;
+  p.quiet_level = 0.5;
+  p.action_until_s = 180;  // no real opening action
+  p.action_level = 0.8;
+  p.hot_until_frac = 0.75;
+  p.hot_gain = 0.85;   // calm first three quarters...
+  p.cool_gain = 1.55;  // ...heavy finale
+  p.scene_sigma = 0.08;
+  p.spike_prob = 0.003;
+  p.seed = 1955;
+  return p;
+}
+
+}  // namespace vod

@@ -1,0 +1,71 @@
+#include "vbr/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace vod {
+
+VbrTrace::VbrTrace(std::vector<double> kb_per_second)
+    : kb_(std::move(kb_per_second)) {
+  for (double v : kb_) VOD_CHECK_MSG(v >= 0.0, "negative trace sample");
+  prefix_.resize(kb_.size() + 1, 0.0);
+  for (size_t i = 0; i < kb_.size(); ++i) prefix_[i + 1] = prefix_[i] + kb_[i];
+}
+
+double VbrTrace::total_kb() const {
+  return prefix_.empty() ? 0.0 : prefix_.back();
+}
+
+double VbrTrace::mean_rate_kbs() const {
+  return kb_.empty() ? 0.0 : total_kb() / static_cast<double>(kb_.size());
+}
+
+double VbrTrace::peak_rate_kbs(int window_s) const {
+  VOD_CHECK(window_s >= 1);
+  if (kb_.empty()) return 0.0;
+  const size_t w = std::min(static_cast<size_t>(window_s), kb_.size());
+  double peak = 0.0;
+  for (size_t i = 0; i + w <= kb_.size(); ++i) {
+    peak = std::max(peak, (prefix_[i + w] - prefix_[i]) / static_cast<double>(w));
+  }
+  return peak;
+}
+
+double VbrTrace::cumulative_kb(int t) const {
+  if (t <= 0) return 0.0;
+  const size_t idx = std::min(static_cast<size_t>(t), kb_.size());
+  return prefix_[idx];
+}
+
+double VbrTrace::cumulative_kb(double t) const {
+  if (t <= 0.0) return 0.0;
+  if (t >= static_cast<double>(kb_.size())) return total_kb();
+  const double floor_t = std::floor(t);
+  const size_t i = static_cast<size_t>(floor_t);
+  return prefix_[i] + (t - floor_t) * kb_[i];
+}
+
+bool VbrTrace::save_csv(const std::string& path) const {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(kb_.size());
+  for (double v : kb_) rows.push_back({v});
+  return write_csv(path, {"kb_per_second"}, rows);
+}
+
+bool VbrTrace::load_csv(const std::string& path, VbrTrace* trace) {
+  std::vector<std::vector<double>> rows;
+  if (!read_csv(path, &rows)) return false;
+  std::vector<double> samples;
+  samples.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (row.empty()) return false;
+    samples.push_back(row[0]);
+  }
+  *trace = VbrTrace(std::move(samples));
+  return true;
+}
+
+}  // namespace vod

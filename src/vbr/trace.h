@@ -1,0 +1,46 @@
+// Variable-bit-rate video traces.
+//
+// §4 of the paper analyzes a DVD rip of The Matrix: 8170 seconds, 636 KB/s
+// average, 951 KB/s peak over any one-second window. A trace here is the
+// same representation that analysis implies: the number of kilobytes the
+// decoder consumes during each second of playback. Everything §4 derives —
+// per-segment bandwidths, the smoothed work-ahead rate, the minimum
+// transmission frequencies — is computed from this per-second profile.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vod {
+
+class VbrTrace {
+ public:
+  VbrTrace() = default;
+  // kb_per_second[t] = kilobytes consumed during playback second t.
+  explicit VbrTrace(std::vector<double> kb_per_second);
+
+  int duration_s() const { return static_cast<int>(kb_.size()); }
+  double total_kb() const;
+  double mean_rate_kbs() const;
+  // Peak consumption over any window of `window_s` whole seconds, in KB/s.
+  double peak_rate_kbs(int window_s = 1) const;
+
+  // Kilobytes consumed during playback seconds [0, t) for integer t
+  // (cumulative consumption curve C(t)); clamps beyond the end.
+  double cumulative_kb(int t) const;
+  // Linear interpolation for fractional times.
+  double cumulative_kb(double t) const;
+
+  const std::vector<double>& samples() const { return kb_; }
+
+  // CSV persistence: one value per line, header "kb_per_second".
+  bool save_csv(const std::string& path) const;
+  static bool load_csv(const std::string& path, VbrTrace* trace);
+
+ private:
+  std::vector<double> kb_;
+  std::vector<double> prefix_;  // prefix_[t] = cumulative_kb(t)
+};
+
+}  // namespace vod

@@ -1,0 +1,50 @@
+#include "vbr/variants.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "vbr/segmentation.h"
+#include "vbr/smoothing.h"
+
+namespace vod {
+
+VariantAnalysis analyze_variants(const VbrTrace& trace, double max_wait_s) {
+  VOD_CHECK(max_wait_s > 0.0);
+  VOD_CHECK(trace.duration_s() > 0);
+
+  VariantAnalysis out;
+  const double duration = static_cast<double>(trace.duration_s());
+  const int n = static_cast<int>(std::ceil(duration / max_wait_s));
+  out.slot_s = duration / static_cast<double>(n);
+
+  out.peak_rate_kbs = trace.peak_rate_kbs(1);
+  out.segment_rate_kbs = max_segment_rate_kbs(trace, out.slot_s);
+  out.workahead_rate_kbs = min_workahead_rate_kbs(trace, out.slot_s);
+
+  out.a = DhbVariant{"DHB-a", n, out.peak_rate_kbs, {}, out.slot_s};
+  out.b = DhbVariant{"DHB-b", n, out.segment_rate_kbs, {}, out.slot_s};
+
+  const int m =
+      workahead_segment_count(trace, out.slot_s, out.workahead_rate_kbs);
+  out.c = DhbVariant{"DHB-c", m, out.workahead_rate_kbs, {}, out.slot_s};
+
+  std::vector<int> periods =
+      workahead_periods(trace, out.slot_s, out.workahead_rate_kbs);
+  out.d = DhbVariant{"DHB-d", m, out.workahead_rate_kbs, std::move(periods),
+                     out.slot_s};
+
+  // Internal verification: both work-ahead schedules must be underflow-free
+  // when every segment arrives exactly at its deadline.
+  std::vector<int> strict(static_cast<size_t>(m));
+  std::iota(strict.begin(), strict.end(), 1);
+  VOD_CHECK_MSG(verify_deadline_schedule(trace, out.slot_s,
+                                         out.workahead_rate_kbs, strict),
+                "DHB-c schedule underflows");
+  VOD_CHECK_MSG(verify_deadline_schedule(trace, out.slot_s,
+                                         out.workahead_rate_kbs, out.d.periods),
+                "DHB-d schedule underflows");
+  return out;
+}
+
+}  // namespace vod

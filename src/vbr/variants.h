@@ -1,0 +1,58 @@
+// The four DHB implementations of paper §4 for one compressed video.
+//
+//  DHB-a  peak-rate provisioning: n = ceil(D/d) playback segments, stream
+//         rate = the 1 s peak (951 KB/s for The Matrix). The base solution.
+//  DHB-b  deterministic waiting time: every segment fully delivered one
+//         slot ahead of consumption; stream rate = max per-segment average
+//         (789 KB/s). Average wait doubles, maximum wait unchanged.
+//  DHB-c  smoothing by work-ahead: segments packed back-to-back at the
+//         minimum feasible constant rate (671 KB/s), giving fewer segments
+//         (129 instead of 137).
+//  DHB-d  DHB-c plus adjusted minimum transmission frequencies T[k]
+//         (segment k delayed until its bytes are actually needed).
+//
+// Each variant resolves to a (segment count, stream rate, period vector)
+// triple that plugs straight into DhbConfig / SlottedSimConfig; Figure 9
+// sweeps them against UD provisioned at the peak rate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dhb.h"
+#include "vbr/trace.h"
+
+namespace vod {
+
+struct DhbVariant {
+  std::string name;          // "DHB-a" ... "DHB-d"
+  int num_segments = 0;      // n
+  double stream_rate_kbs = 0.0;  // per-stream bandwidth b
+  std::vector<int> periods;  // empty => T[k] = k
+  // Transmission slots: for a/b this equals playback slots; for c/d the
+  // video occupies fewer transmission slots than playback slots.
+  double slot_s = 0.0;
+
+  DhbConfig dhb_config() const {
+    DhbConfig c;
+    c.num_segments = num_segments;
+    c.periods = periods;
+    return c;
+  }
+};
+
+struct VariantAnalysis {
+  double slot_s = 0.0;           // d, from the target maximum waiting time
+  double peak_rate_kbs = 0.0;    // 1 s peak (DHB-a rate)
+  double segment_rate_kbs = 0.0; // max per-segment average (DHB-b rate)
+  double workahead_rate_kbs = 0.0;  // min smoothed rate (DHB-c/d rate)
+  DhbVariant a, b, c, d;
+};
+
+// Analyzes a trace for a target maximum waiting time (the paper uses one
+// minute). All four variants are derived and internally verified (the
+// period schedule of DHB-d is checked against the underflow model).
+VariantAnalysis analyze_variants(const VbrTrace& trace,
+                                 double max_wait_s = 60.0);
+
+}  // namespace vod

@@ -1,0 +1,137 @@
+#include "sim/arrival_process.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace vod {
+namespace {
+
+TEST(PoissonProcess, StrictlyIncreasing) {
+  PoissonProcess p(1.0, Rng(1));
+  double last = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = p.next();
+    EXPECT_GT(t, last);
+    last = t;
+  }
+}
+
+TEST(PoissonProcess, MeanInterArrival) {
+  PoissonProcess p(4.0, Rng(2));
+  const int n = 100000;
+  double last = 0.0, sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double t = p.next();
+    sum += t - last;
+    last = t;
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.005);
+}
+
+TEST(PoissonProcess, CountInWindowIsPoisson) {
+  // Count arrivals in [0, 100) at rate 0.5: mean 50, stddev ~7.
+  PoissonProcess p(0.5, Rng(3));
+  int count = 0;
+  while (p.next() < 100.0) ++count;
+  EXPECT_GT(count, 20);
+  EXPECT_LT(count, 90);
+}
+
+TEST(PoissonProcess, DeterministicPerSeed) {
+  PoissonProcess a(1.0, Rng(7)), b(1.0, Rng(7));
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.next(), b.next());
+}
+
+TEST(PerHour, Conversion) {
+  EXPECT_DOUBLE_EQ(per_hour(3600.0), 1.0);
+  EXPECT_DOUBLE_EQ(per_hour(10.0), 10.0 / 3600.0);
+}
+
+TEST(NonHomogeneousPoisson, ConstantRateMatchesHomogeneous) {
+  NonHomogeneousPoissonProcess p([](double) { return 2.0; }, 2.0, Rng(11));
+  const int n = 50000;
+  double last = 0.0, sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double t = p.next();
+    EXPECT_GT(t, last);
+    sum += t - last;
+    last = t;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(NonHomogeneousPoisson, ThinningRecoversRateShape) {
+  // rate(t) = 2 for t in [0,100), 0.2 afterwards: the count ratio between
+  // the two windows should be ~10.
+  auto rate = [](double t) { return t < 100.0 ? 2.0 : 0.2; };
+  NonHomogeneousPoissonProcess p(rate, 2.0, Rng(13));
+  int early = 0, late = 0;
+  for (;;) {
+    const double t = p.next();
+    if (t >= 1100.0) break;
+    if (t < 100.0) {
+      ++early;
+    } else {
+      ++late;
+    }
+  }
+  EXPECT_NEAR(early, 200, 60);
+  EXPECT_NEAR(late, 200, 60);
+}
+
+TEST(NonHomogeneousPoisson, ZeroRatePrefixProducesNoArrivals) {
+  // rate is zero before t = 50, positive afterwards: the first arrival must
+  // land after 50.
+  auto rate = [](double t) { return t > 50.0 ? 1.0 : 0.0; };
+  NonHomogeneousPoissonProcess p(rate, 1.0, Rng(17));
+  for (int i = 0; i < 20; ++i) EXPECT_GT(p.next(), 50.0);
+}
+
+TEST(ScriptedArrivals, ReplaysExactly) {
+  ScriptedArrivals s({1.0, 2.5, 7.0});
+  EXPECT_DOUBLE_EQ(s.next(), 1.0);
+  EXPECT_DOUBLE_EQ(s.next(), 2.5);
+  EXPECT_DOUBLE_EQ(s.next(), 7.0);
+  EXPECT_TRUE(std::isinf(s.next()));
+  EXPECT_TRUE(std::isinf(s.next()));
+}
+
+TEST(ScriptedArrivals, EmptyIsImmediatelyExhausted) {
+  ScriptedArrivals s({});
+  EXPECT_TRUE(std::isinf(s.next()));
+}
+
+TEST(PeriodicArrivals, FixedCadence) {
+  PeriodicArrivals p(10.0, 5.0);
+  EXPECT_DOUBLE_EQ(p.next(), 10.0);
+  EXPECT_DOUBLE_EQ(p.next(), 15.0);
+  EXPECT_DOUBLE_EQ(p.next(), 20.0);
+}
+
+TEST(DailyDemandCurve, PeaksInTheEvening) {
+  auto curve = daily_demand_curve(1.0, 100.0);
+  const double peak = curve(21.0 * 3600.0);   // 21:00
+  const double trough = curve(9.0 * 3600.0);  // 09:00
+  EXPECT_NEAR(peak, per_hour(100.0), 1e-9);
+  EXPECT_NEAR(trough, per_hour(1.0), 1e-9);
+}
+
+TEST(DailyDemandCurve, WrapsEveryDay) {
+  auto curve = daily_demand_curve(2.0, 50.0);
+  const double day = 24.0 * 3600.0;
+  EXPECT_NEAR(curve(5000.0), curve(5000.0 + 3.0 * day), 1e-9);
+}
+
+TEST(DailyDemandCurve, BoundedByEndpoints) {
+  auto curve = daily_demand_curve(1.0, 10.0);
+  for (int h = 0; h < 24; ++h) {
+    const double r = curve(h * 3600.0);
+    EXPECT_GE(r, per_hour(1.0) - 1e-12);
+    EXPECT_LE(r, per_hour(10.0) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,81 @@
+#include "sim/batch_means.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.h"
+
+namespace vod {
+namespace {
+
+TEST(BatchMeans, NoBatchesGivesInfiniteHalfWidth) {
+  BatchMeans bm(10);
+  for (int i = 0; i < 9; ++i) bm.add(1.0);
+  const ConfidenceInterval ci = bm.interval95();
+  EXPECT_EQ(ci.batches, 0u);
+  EXPECT_TRUE(std::isinf(ci.half_width));
+}
+
+TEST(BatchMeans, OneBatchGivesMeanButInfiniteHalfWidth) {
+  BatchMeans bm(4);
+  for (int i = 0; i < 4; ++i) bm.add(2.0);
+  const ConfidenceInterval ci = bm.interval95();
+  EXPECT_EQ(ci.batches, 1u);
+  EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+  EXPECT_TRUE(std::isinf(ci.half_width));
+}
+
+TEST(BatchMeans, ConstantSignalHasZeroWidth) {
+  BatchMeans bm(5);
+  for (int i = 0; i < 100; ++i) bm.add(7.0);
+  const ConfidenceInterval ci = bm.interval95();
+  EXPECT_EQ(ci.batches, 20u);
+  EXPECT_DOUBLE_EQ(ci.mean, 7.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(BatchMeans, CoversTrueMeanOfIidNoise) {
+  // 95% CI should contain the true mean in most replications.
+  int covered = 0;
+  const int reps = 40;
+  for (int r = 0; r < reps; ++r) {
+    Rng rng(1000 + static_cast<uint64_t>(r));
+    BatchMeans bm(100);
+    for (int i = 0; i < 3000; ++i) bm.add(rng.normal(5.0, 2.0));
+    const ConfidenceInterval ci = bm.interval95();
+    if (ci.lo() <= 5.0 && 5.0 <= ci.hi()) ++covered;
+  }
+  EXPECT_GE(covered, 33);  // ~95% of 40, with slack
+}
+
+TEST(BatchMeans, IntervalEndpoints) {
+  BatchMeans bm(1);
+  bm.add(1.0);
+  bm.add(3.0);
+  const ConfidenceInterval ci = bm.interval95();
+  EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+  EXPECT_DOUBLE_EQ(ci.lo(), ci.mean - ci.half_width);
+  EXPECT_DOUBLE_EQ(ci.hi(), ci.mean + ci.half_width);
+  EXPECT_GT(ci.half_width, 0.0);
+}
+
+TEST(StudentT, TableValues) {
+  EXPECT_TRUE(std::isinf(student_t_975(0)));
+  EXPECT_NEAR(student_t_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_975(10), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_975(30), 2.042, 1e-3);
+  EXPECT_NEAR(student_t_975(1000), 1.960, 1e-3);
+}
+
+TEST(StudentT, MonotoneDecreasing) {
+  double prev = student_t_975(1);
+  for (uint64_t df : {2u, 5u, 10u, 20u, 30u, 40u, 60u, 120u, 200u}) {
+    const double t = student_t_975(df);
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace vod

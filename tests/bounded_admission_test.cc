@@ -1,0 +1,148 @@
+// Channel-bounded admission control: DHB under a hard per-slot stream
+// budget, with deferred (FIFO) requests.
+#include <gtest/gtest.h>
+
+#include "core/dhb.h"
+#include "core/dhb_simulator.h"
+#include "protocols/npb.h"
+#include "sim/random.h"
+
+namespace vod {
+namespace {
+
+DhbConfig small_config(int n) {
+  DhbConfig c;
+  c.num_segments = n;
+  return c;
+}
+
+TEST(BoundedAdmission, AdmitsWhenCapLoose) {
+  DhbScheduler s(small_config(6));
+  s.advance_slot();
+  const auto r = s.on_request_bounded(6);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->new_instances, 6);
+  EXPECT_TRUE(verify_plan(r->plan).deadlines_met);
+}
+
+TEST(BoundedAdmission, MatchesUnboundedWhenGenerous) {
+  DhbScheduler a(small_config(8));
+  DhbScheduler b(small_config(8));
+  a.advance_slot();
+  b.advance_slot();
+  const DhbRequestResult ua = a.on_request();
+  const auto ub = b.on_request_bounded(100);
+  ASSERT_TRUE(ub.has_value());
+  EXPECT_EQ(ua.plan.reception_slot, ub->plan.reception_slot);
+}
+
+TEST(BoundedAdmission, RefusesWithoutMutation) {
+  // Cap 1: a single fresh request needs only one instance per slot, so it
+  // fits; a second one in the same slot shares everything; but a request
+  // one slot later needs fresh S1 in a slot already carrying S2 -> refuse.
+  DhbScheduler s(small_config(4));
+  s.advance_slot();
+  ASSERT_TRUE(s.on_request_bounded(1).has_value());
+  s.advance_slot();
+  const int before = s.schedule().total_scheduled();
+  // S1 window is (2,3]; slot 3 already carries S2: load 1 == cap.
+  EXPECT_FALSE(s.on_request_bounded(1).has_value());
+  EXPECT_EQ(s.schedule().total_scheduled(), before);  // rollback complete
+}
+
+TEST(BoundedAdmission, CountsOwnTentativePlacements) {
+  // Cap 1 on an idle system: S_j lands in slot i+j only because earlier
+  // tentative placements fill the earlier slots; the request must still
+  // succeed (one instance per slot).
+  DhbScheduler s(small_config(10));
+  s.advance_slot();
+  const auto r = s.on_request_bounded(1);
+  ASSERT_TRUE(r.has_value());
+  for (Segment j = 1; j <= 10; ++j) {
+    EXPECT_EQ(r->plan.reception_slot[static_cast<size_t>(j - 1)], 1 + j);
+  }
+}
+
+TEST(BoundedAdmission, SharedInstancesDoNotCountAgainstCap) {
+  DhbScheduler s(small_config(6));
+  s.advance_slot();
+  ASSERT_TRUE(s.on_request_bounded(1).has_value());
+  // Same slot: everything is shared; no new channel needed.
+  const auto r = s.on_request_bounded(1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->new_instances, 0);
+}
+
+TEST(BoundedAdmissionDeath, RequiresUncappedClients) {
+  DhbConfig c = small_config(4);
+  c.client_stream_cap = 2;
+  DhbScheduler s(c);
+  s.advance_slot();
+  EXPECT_DEATH(s.on_request_bounded(4), "unlimited client bandwidth");
+}
+
+BoundedSimConfig bounded_sim(double rate, int cap) {
+  BoundedSimConfig sim;
+  sim.base.requests_per_hour = rate;
+  sim.base.warmup_hours = 4.0;
+  sim.base.measured_hours = 80.0;
+  sim.channel_cap = cap;
+  return sim;
+}
+
+TEST(BoundedSimulation, CapIsNeverExceeded) {
+  for (int cap : {5, 6, 8}) {
+    const BoundedSimResult r =
+        run_bounded_dhb_simulation(DhbConfig{}, bounded_sim(500.0, cap));
+    EXPECT_LE(r.max_streams, static_cast<double>(cap)) << cap;
+    EXPECT_TRUE(r.playout_ok) << cap;
+  }
+}
+
+TEST(BoundedSimulation, GenerousCapMeansNoDeferrals) {
+  const BoundedSimResult r =
+      run_bounded_dhb_simulation(DhbConfig{}, bounded_sim(100.0, 12));
+  EXPECT_EQ(r.deferred, 0u);
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_DOUBLE_EQ(r.avg_extra_wait_slots, 0.0);
+}
+
+TEST(BoundedSimulation, TightCapDefersButServes) {
+  // Cap at NPB's 6 streams: Figure 8 says unbounded DHB peaks at 8, so a
+  // few requests must wait — but the system still serves nearly everyone
+  // with tiny average extra wait.
+  const BoundedSimResult r =
+      run_bounded_dhb_simulation(DhbConfig{}, bounded_sim(500.0, 6));
+  EXPECT_GT(r.deferred, 0u);
+  EXPECT_GT(r.requests, 0u);
+  EXPECT_LT(r.avg_extra_wait_slots, 1.0);
+  EXPECT_LT(static_cast<double>(r.rejected),
+            0.01 * static_cast<double>(r.requests + r.rejected));
+}
+
+TEST(BoundedSimulation, WaitGrowsAsCapShrinks) {
+  const BoundedSimResult loose =
+      run_bounded_dhb_simulation(DhbConfig{}, bounded_sim(500.0, 7));
+  const BoundedSimResult tight =
+      run_bounded_dhb_simulation(DhbConfig{}, bounded_sim(500.0, 6));
+  EXPECT_LE(loose.avg_extra_wait_slots, tight.avg_extra_wait_slots);
+  EXPECT_LE(loose.deferred, tight.deferred);
+}
+
+TEST(BoundedSimulation, SubHarmonicCapSelfBatchesGracefully) {
+  // Unbounded saturation needs ~H_99 = 5.2 streams on average, yet a cap
+  // BELOW that does not collapse: deferral synchronizes arrivals into the
+  // same admission slots, where they share everything — the queue turns
+  // DHB into a batching protocol with bounded extra wait and no
+  // rejections. (An emergent property worth a test of its own.)
+  const BoundedSimResult r =
+      run_bounded_dhb_simulation(DhbConfig{}, bounded_sim(1000.0, 5));
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_GT(r.deferred, r.requests / 5);     // lots of waiting...
+  EXPECT_LE(r.max_extra_wait_slots, 10);     // ...but never long
+  EXPECT_LE(r.max_streams, 5.0);
+  EXPECT_GT(r.avg_streams, 4.0);
+}
+
+}  // namespace
+}  // namespace vod

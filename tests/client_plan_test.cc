@@ -1,0 +1,109 @@
+#include "schedule/client_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+// The paper's Figure 4: a request during slot 1 into an idle system gets
+// S_i during slot 1 + i.
+ClientPlan figure4_plan() {
+  ClientPlan p;
+  p.arrival_slot = 1;
+  p.reception_slot = {2, 3, 4, 5, 6, 7};
+  return p;
+}
+
+TEST(VerifyPlan, Figure4MeetsEverything) {
+  const PlanDiagnostics d = verify_plan(figure4_plan());
+  EXPECT_TRUE(d.deadlines_met);
+  EXPECT_EQ(d.first_violation, 0);
+  // One segment per slot, consumed as received: one stream, no backlog.
+  EXPECT_EQ(d.max_concurrent_streams, 1);
+  EXPECT_EQ(d.max_buffered_segments, 0);
+}
+
+// The paper's Figure 5 second request: arrives during slot 3, shares S3..S6
+// (slots 4..7 from the first request), gets fresh S1 in slot 4, S2 in 5.
+TEST(VerifyPlan, Figure5SecondRequest) {
+  ClientPlan p;
+  p.arrival_slot = 3;
+  p.reception_slot = {4, 5, 6, 7, 8, 9};
+  const PlanDiagnostics d = verify_plan(p);
+  EXPECT_TRUE(d.deadlines_met);
+  EXPECT_EQ(d.max_concurrent_streams, 1);
+}
+
+TEST(VerifyPlan, LateSegmentViolates) {
+  ClientPlan p;
+  p.arrival_slot = 0;
+  p.reception_slot = {1, 3};  // S2 due by slot 2, received in slot 3
+  const PlanDiagnostics d = verify_plan(p);
+  EXPECT_FALSE(d.deadlines_met);
+  EXPECT_EQ(d.first_violation, 2);
+}
+
+TEST(VerifyPlan, ReceptionInArrivalSlotViolates) {
+  ClientPlan p;
+  p.arrival_slot = 5;
+  p.reception_slot = {5};  // S1 cannot use a transmission already under way
+  EXPECT_FALSE(verify_plan(p).deadlines_met);
+}
+
+TEST(VerifyPlan, EarlyReceptionBuffersSegments) {
+  ClientPlan p;
+  p.arrival_slot = 0;
+  p.reception_slot = {1, 1, 1};  // everything in the first slot
+  const PlanDiagnostics d = verify_plan(p);
+  EXPECT_TRUE(d.deadlines_met);
+  EXPECT_EQ(d.max_concurrent_streams, 3);
+  // After slot 1: received 3, consumed 1 -> 2 buffered.
+  EXPECT_EQ(d.max_buffered_segments, 2);
+}
+
+TEST(VerifyPlan, CustomPeriodsTightenDeadlines) {
+  ClientPlan p;
+  p.arrival_slot = 0;
+  p.reception_slot = {1, 2, 3};
+  // T = {1, 1, 3}: segment 2 must now arrive by slot 1.
+  const PlanDiagnostics d = verify_plan(p, {1, 1, 3});
+  EXPECT_FALSE(d.deadlines_met);
+  EXPECT_EQ(d.first_violation, 2);
+}
+
+TEST(VerifyPlan, CustomPeriodsRelaxDeadlines) {
+  ClientPlan p;
+  p.arrival_slot = 0;
+  p.reception_slot = {1, 4, 4};
+  // Work-ahead periods: segment 2 may wait until slot 4.
+  const PlanDiagnostics d = verify_plan(p, {1, 4, 5});
+  EXPECT_TRUE(d.deadlines_met);
+}
+
+TEST(VerifyPlan, ConcurrencyCountsPerSlot) {
+  ClientPlan p;
+  p.arrival_slot = 10;
+  p.reception_slot = {11, 12, 12, 12, 15, 15};
+  const PlanDiagnostics d = verify_plan(p);
+  EXPECT_TRUE(d.deadlines_met);
+  EXPECT_EQ(d.max_concurrent_streams, 3);
+}
+
+TEST(VerifyPlan, BufferPeaksMidway) {
+  ClientPlan p;
+  p.arrival_slot = 0;
+  p.reception_slot = {1, 2, 2, 2, 5};
+  const PlanDiagnostics d = verify_plan(p);
+  // End of slot 2: received 4, consumed 2 -> buffer 2.
+  EXPECT_EQ(d.max_buffered_segments, 2);
+}
+
+TEST(VerifyPlan, NonPositiveArrivalSupported) {
+  ClientPlan p;
+  p.arrival_slot = -3;
+  p.reception_slot = {-2, -1};
+  EXPECT_TRUE(verify_plan(p).deadlines_met);
+}
+
+}  // namespace
+}  // namespace vod

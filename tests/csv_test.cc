@@ -1,0 +1,85 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace vod {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Csv, RoundTripWithHeader) {
+  const std::string path = temp_path("rt.csv");
+  const std::vector<std::vector<double>> rows = {{1.0, 2.5}, {3.25, -4.0}};
+  ASSERT_TRUE(write_csv(path, {"x", "y"}, rows));
+  std::vector<std::vector<double>> back;
+  ASSERT_TRUE(read_csv(path, &back));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(back[0][1], 2.5);
+  EXPECT_DOUBLE_EQ(back[1][1], -4.0);
+}
+
+TEST(Csv, RoundTripWithoutHeader) {
+  const std::string path = temp_path("nh.csv");
+  ASSERT_TRUE(write_csv(path, {}, {{7.0}}));
+  std::vector<std::vector<double>> back;
+  ASSERT_TRUE(read_csv(path, &back));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_DOUBLE_EQ(back[0][0], 7.0);
+}
+
+TEST(Csv, PreservesPrecision) {
+  const std::string path = temp_path("prec.csv");
+  const double v = 636.123456789012;
+  ASSERT_TRUE(write_csv(path, {}, {{v}}));
+  std::vector<std::vector<double>> back;
+  ASSERT_TRUE(read_csv(path, &back));
+  EXPECT_NEAR(back[0][0], v, 1e-9);
+}
+
+TEST(Csv, ReadMissingFileFails) {
+  std::vector<std::vector<double>> rows;
+  EXPECT_FALSE(read_csv("/nonexistent/dir/file.csv", &rows));
+}
+
+TEST(Csv, WriteToBadPathFails) {
+  EXPECT_FALSE(write_csv("/nonexistent/dir/file.csv", {}, {{1.0}}));
+}
+
+TEST(Csv, SecondNonNumericLineFails) {
+  const std::string path = temp_path("bad.csv");
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("header\n1.0\noops\n", f);
+  fclose(f);
+  std::vector<std::vector<double>> rows;
+  EXPECT_FALSE(read_csv(path, &rows));
+}
+
+TEST(Csv, SkipsEmptyLines) {
+  const std::string path = temp_path("empty.csv");
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("1.0\n\n2.0\n", f);
+  fclose(f);
+  std::vector<std::vector<double>> rows;
+  ASSERT_TRUE(read_csv(path, &rows));
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(Csv, MultiColumnRow) {
+  const std::string path = temp_path("multi.csv");
+  ASSERT_TRUE(write_csv(path, {"a", "b", "c"}, {{1, 2, 3}}));
+  std::vector<std::vector<double>> back;
+  ASSERT_TRUE(read_csv(path, &back));
+  ASSERT_EQ(back[0].size(), 3u);
+  EXPECT_DOUBLE_EQ(back[0][2], 3.0);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,178 @@
+// Property-based suites for the DHB scheduler: randomized arrival patterns,
+// parameterized over (segment count, arrival intensity, heuristic), checking
+// the protocol's contracts on every admitted request.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/dhb.h"
+#include "protocols/harmonic.h"
+#include "sim/random.h"
+
+namespace vod {
+namespace {
+
+struct PropertyParams {
+  int num_segments;
+  double arrivals_per_slot;
+  SlotHeuristic heuristic;
+};
+
+class DhbPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double, SlotHeuristic>> {
+};
+
+// Every admitted request, under every heuristic and load level, must meet
+// every deadline, and uncapped DHB must keep the <=1-future-instance
+// sharing invariant.
+TEST_P(DhbPropertyTest, DeadlinesAndSharingInvariant) {
+  const auto [n, per_slot, heuristic] = GetParam();
+  DhbConfig c;
+  c.num_segments = n;
+  c.heuristic = heuristic;
+  DhbScheduler s(c);
+  Rng rng(static_cast<uint64_t>(n) * 1000003 +
+          static_cast<uint64_t>(per_slot * 977) +
+          static_cast<uint64_t>(heuristic));
+
+  for (int step = 0; step < 400; ++step) {
+    s.advance_slot();
+    const uint64_t arrivals = rng.poisson(per_slot);
+    for (uint64_t a = 0; a < arrivals; ++a) {
+      const DhbRequestResult r = s.on_request();
+      const PlanDiagnostics d = verify_plan(r.plan);
+      ASSERT_TRUE(d.deadlines_met)
+          << "segment S" << d.first_violation << " late at slot "
+          << s.current_slot();
+      ASSERT_EQ(r.new_instances + r.shared_instances, n);
+    }
+    for (Segment j = 1; j <= n; ++j) {
+      ASSERT_LE(s.schedule().instances_of(j).size(), 1u);
+    }
+  }
+}
+
+// The server never transmits more than one instance of a segment per slot,
+// and per-slot bandwidth is bounded by n.
+TEST_P(DhbPropertyTest, PerSlotTransmissionsWellFormed) {
+  const auto [n, per_slot, heuristic] = GetParam();
+  DhbConfig c;
+  c.num_segments = n;
+  c.heuristic = heuristic;
+  DhbScheduler s(c);
+  Rng rng(42 + static_cast<uint64_t>(n));
+
+  for (int step = 0; step < 300; ++step) {
+    const std::vector<Segment> tx = s.advance_slot();
+    ASSERT_LE(static_cast<int>(tx.size()), n);
+    std::vector<Segment> sorted = tx;
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end())
+        << "duplicate segment in one slot";
+    const uint64_t arrivals = rng.poisson(per_slot);
+    for (uint64_t a = 0; a < arrivals; ++a) s.on_request();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DhbPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 6, 25, 99),
+        ::testing::Values(0.05, 0.5, 2.0),
+        ::testing::Values(SlotHeuristic::kMinLoadLatest,
+                          SlotHeuristic::kLatest,
+                          SlotHeuristic::kEarliest,
+                          SlotHeuristic::kMinLoadEarliest,
+                          SlotHeuristic::kRandom)),
+    [](const auto& info) {
+      std::string name =
+          "n" + std::to_string(std::get<0>(info.param)) + "_load" +
+          std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) +
+          "_" + to_string(std::get<2>(info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+class DhbCappedPropertyTest : public ::testing::TestWithParam<int> {};
+
+// The capped variant must still meet every deadline, and whenever it
+// reports zero violations the client concurrency must actually be within
+// the cap.
+TEST_P(DhbCappedPropertyTest, CapRespectedOrReported) {
+  const int cap = GetParam();
+  DhbConfig c;
+  c.num_segments = 40;
+  c.client_stream_cap = cap;
+  DhbScheduler s(c);
+  Rng rng(7u * static_cast<uint64_t>(cap) + 1);
+
+  for (int step = 0; step < 300; ++step) {
+    s.advance_slot();
+    const uint64_t arrivals = rng.poisson(0.8);
+    for (uint64_t a = 0; a < arrivals; ++a) {
+      const DhbRequestResult r = s.on_request();
+      const PlanDiagnostics d = verify_plan(r.plan);
+      ASSERT_TRUE(d.deadlines_met);
+      if (r.cap_violations == 0) {
+        ASSERT_LE(d.max_concurrent_streams, cap);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, DhbCappedPropertyTest,
+                         ::testing::Values(1, 2, 3, 5),
+                         [](const auto& info) {
+                           return "cap" + std::to_string(info.param);
+                         });
+
+// Saturation behaviour: with at least one request per slot, the average
+// bandwidth converges to roughly the harmonic number H_n — each segment
+// S_j is transmitted about once every j slots (§3's minimum-frequency
+// argument).
+TEST(DhbSaturation, AverageApproachesHarmonicNumber) {
+  const int n = 99;
+  DhbConfig c;
+  c.num_segments = n;
+  DhbScheduler s(c);
+  Rng rng(314);
+  uint64_t transmissions = 0;
+  const int warmup = 300, measured = 4000;
+  for (int step = 0; step < warmup + measured; ++step) {
+    const std::vector<Segment> tx = s.advance_slot();
+    if (step >= warmup) transmissions += tx.size();
+    s.on_request();
+    if (rng.uniform() < 0.5) s.on_request();
+  }
+  const double avg =
+      static_cast<double>(transmissions) / static_cast<double>(measured);
+  const double h = harmonic_number(n);
+  EXPECT_GE(avg, h - 0.05);  // cannot beat the harmonic floor
+  EXPECT_LE(avg, h + 0.60);  // and the heuristic stays near it
+}
+
+// At saturation every segment's realized transmission period is at most its
+// index (the §3 minimum-frequency property), measured on the wire.
+TEST(DhbSaturation, WirePeriodsWithinBounds) {
+  const int n = 30;
+  DhbConfig c;
+  c.num_segments = n;
+  DhbScheduler s(c);
+  std::vector<Slot> last(static_cast<size_t>(n) + 1, 0);
+  for (int step = 0; step < 1000; ++step) {
+    const std::vector<Segment> tx = s.advance_slot();
+    const Slot now = s.current_slot();
+    for (Segment j : tx) {
+      if (last[static_cast<size_t>(j)] != 0) {
+        EXPECT_LE(now - last[static_cast<size_t>(j)], j) << "S" << j;
+      }
+      last[static_cast<size_t>(j)] = now;
+    }
+    s.on_request();
+  }
+}
+
+}  // namespace
+}  // namespace vod

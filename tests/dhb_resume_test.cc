@@ -1,0 +1,197 @@
+// VCR resume / seek support: on_resume(f) admits a client that watches
+// segments f..n starting next slot (pause-resume, or a seek to segment f).
+#include <gtest/gtest.h>
+
+#include "core/dhb.h"
+#include "sim/random.h"
+
+namespace vod {
+namespace {
+
+DhbConfig small_config(int n) {
+  DhbConfig c;
+  c.num_segments = n;
+  return c;
+}
+
+TEST(DhbResume, ResumeAtOneIsOnRequest) {
+  DhbScheduler a(small_config(8));
+  DhbScheduler b(small_config(8));
+  a.advance_slot();
+  b.advance_slot();
+  const DhbRequestResult ra = a.on_request();
+  const DhbRequestResult rb = b.on_resume(1);
+  EXPECT_EQ(ra.plan.reception_slot, rb.plan.reception_slot);
+  EXPECT_EQ(ra.new_instances, rb.new_instances);
+}
+
+TEST(DhbResume, IdleResumeSchedulesSuffixOnly) {
+  DhbScheduler s(small_config(6));
+  s.advance_slot();
+  const DhbRequestResult r = s.on_resume(4);
+  // Only S4..S6 are scheduled, at the resume deadlines i+1..i+3.
+  ASSERT_EQ(r.plan.reception_slot.size(), 3u);
+  EXPECT_EQ(r.new_instances, 3);
+  EXPECT_EQ(r.plan.reception_slot[0], 2);  // S4 watched during slot 2
+  EXPECT_EQ(r.plan.reception_slot[1], 3);
+  EXPECT_EQ(r.plan.reception_slot[2], 4);
+  EXPECT_FALSE(s.schedule().has_future_instance(1));
+  EXPECT_TRUE(s.schedule().has_future_instance(4));
+}
+
+TEST(DhbResume, ResumePeriodsClampToSuffixDeadlines) {
+  DhbScheduler s(small_config(6));
+  const std::vector<int> p = s.resume_periods(4);
+  EXPECT_EQ(p, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.resume_periods(1), s.periods());
+}
+
+TEST(DhbResume, ResumeRidesAnEarlierRequestsTail) {
+  DhbScheduler s(small_config(6));
+  s.advance_slot();
+  s.on_request();  // schedules S_j at slot 1 + j
+  s.advance_slot();
+  s.advance_slot();  // now slot 3
+  // A client resuming at S3 during slot 3 wants S3 by slot 4, S4 by 5, ...
+  // — exactly where the first request's instances sit: full sharing.
+  const DhbRequestResult r = s.on_resume(3);
+  EXPECT_EQ(r.new_instances, 0);
+  EXPECT_EQ(r.shared_instances, 4);
+  EXPECT_TRUE(verify_plan(r.plan, s.resume_periods(3)).deadlines_met);
+}
+
+TEST(DhbResume, PartialSharingWhenOffsetMisaligns) {
+  DhbScheduler s(small_config(6));
+  s.advance_slot();
+  s.on_request();  // S_j at slot 1 + j
+  for (int k = 0; k < 3; ++k) s.advance_slot();  // now slot 4
+  // Resuming at S3 during slot 4: S3's window (4,5] misses the instance at
+  // slot 4 (already under way), so a fresh S3 is scheduled; S4..S6 at
+  // slots 5..7 are shared.
+  const DhbRequestResult r = s.on_resume(3);
+  EXPECT_EQ(r.new_instances, 1);
+  EXPECT_EQ(r.shared_instances, 3);
+  EXPECT_TRUE(verify_plan(r.plan, s.resume_periods(3)).deadlines_met);
+}
+
+TEST(DhbResume, SameSlotResumersShareSuffix) {
+  DhbScheduler s(small_config(10));
+  s.advance_slot();
+  s.on_resume(5);
+  const DhbRequestResult r = s.on_resume(5);
+  EXPECT_EQ(r.new_instances, 0);
+  EXPECT_EQ(r.shared_instances, 6);
+}
+
+TEST(DhbResume, PropertyDeadlinesAlwaysMet) {
+  DhbConfig c = small_config(20);
+  DhbScheduler s(c);
+  Rng rng(99);
+  for (int step = 0; step < 300; ++step) {
+    s.advance_slot();
+    if (rng.uniform() < 0.6) s.on_request();
+    if (rng.uniform() < 0.4) {
+      const Segment f =
+          1 + static_cast<Segment>(rng.uniform_index(20));
+      const DhbRequestResult r = s.on_resume(f);
+      const PlanDiagnostics d = verify_plan(r.plan, s.resume_periods(f));
+      ASSERT_TRUE(d.deadlines_met)
+          << "resume at S" << f << ", slot " << s.current_slot();
+      // Note: resumes use tighter windows than full requests, so the
+      // <=1-future-instance invariant no longer holds (a resume may
+      // legitimately duplicate an instance it cannot wait for); a small
+      // bound still does.
+      for (Segment j = 1; j <= 20; ++j) {
+        ASSERT_LE(s.schedule().instances_of(j).size(), 4u);
+      }
+    }
+  }
+}
+
+TEST(DhbResume, CappedResumeRespectsCap) {
+  DhbConfig c = small_config(12);
+  c.client_stream_cap = 2;
+  DhbScheduler s(c);
+  Rng rng(5);
+  for (int step = 0; step < 200; ++step) {
+    s.advance_slot();
+    const Segment f = 1 + static_cast<Segment>(rng.uniform_index(12));
+    const DhbRequestResult r = s.on_resume(f);
+    const PlanDiagnostics d = verify_plan(r.plan, s.resume_periods(f));
+    ASSERT_TRUE(d.deadlines_met);
+    if (r.cap_violations == 0) {
+      ASSERT_LE(d.max_concurrent_streams, 2);
+    }
+  }
+}
+
+TEST(DhbResume, ResumeAtLastSegment) {
+  DhbScheduler s(small_config(7));
+  s.advance_slot();
+  const DhbRequestResult r = s.on_resume(7);
+  ASSERT_EQ(r.plan.reception_slot.size(), 1u);
+  EXPECT_EQ(r.plan.reception_slot[0], 2);  // next slot, period 1
+}
+
+TEST(DhbRange, OnRangeGeneralizesBothEntryPoints) {
+  DhbScheduler a(small_config(8));
+  DhbScheduler b(small_config(8));
+  a.advance_slot();
+  b.advance_slot();
+  EXPECT_EQ(a.on_request().plan.reception_slot,
+            b.on_range(1, 8).plan.reception_slot);
+  DhbScheduler c(small_config(8));
+  DhbScheduler e(small_config(8));
+  c.advance_slot();
+  e.advance_slot();
+  EXPECT_EQ(c.on_resume(3).plan.reception_slot,
+            e.on_range(3, 8).plan.reception_slot);
+}
+
+TEST(DhbRange, PrefixSchedulesOnlyDeclaredLength) {
+  DhbScheduler s(small_config(10));
+  s.advance_slot();
+  const DhbRequestResult r = s.on_range(1, 4);
+  ASSERT_EQ(r.plan.reception_slot.size(), 4u);
+  EXPECT_EQ(r.new_instances, 4);
+  EXPECT_TRUE(s.schedule().has_future_instance(4));
+  EXPECT_FALSE(s.schedule().has_future_instance(5));
+  EXPECT_TRUE(verify_plan(r.plan).deadlines_met);
+}
+
+TEST(DhbRange, MiddleRangeSharesWithFullRequest) {
+  DhbScheduler s(small_config(10));
+  s.advance_slot();
+  s.on_request();  // S_j at slot 1 + j
+  s.advance_slot();
+  s.advance_slot();  // slot 3
+  // Watching S3..S5 during slots 4..6 rides the first request exactly.
+  const DhbRequestResult r = s.on_range(3, 5);
+  EXPECT_EQ(r.new_instances, 0);
+  EXPECT_EQ(r.shared_instances, 3);
+}
+
+TEST(DhbRange, SingleSegmentRange) {
+  DhbScheduler s(small_config(6));
+  s.advance_slot();
+  const DhbRequestResult r = s.on_range(4, 4);
+  ASSERT_EQ(r.plan.reception_slot.size(), 1u);
+  EXPECT_EQ(r.plan.reception_slot[0], 2);  // next slot (resume window 1)
+}
+
+TEST(DhbRangeDeath, RejectsInvertedRange) {
+  DhbScheduler s(small_config(6));
+  s.advance_slot();
+  EXPECT_DEATH(s.on_range(4, 3), "");
+  EXPECT_DEATH(s.on_range(1, 7), "");
+}
+
+TEST(DhbResumeDeath, RejectsOutOfRange) {
+  DhbScheduler s(small_config(5));
+  s.advance_slot();
+  EXPECT_DEATH(s.on_resume(0), "");
+  EXPECT_DEATH(s.on_resume(6), "");
+}
+
+}  // namespace
+}  // namespace vod

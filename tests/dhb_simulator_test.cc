@@ -1,0 +1,161 @@
+#include "core/dhb_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/harmonic.h"
+
+namespace vod {
+namespace {
+
+SlottedSimConfig quick_sim(double rate) {
+  SlottedSimConfig sim;
+  sim.requests_per_hour = rate;
+  sim.warmup_hours = 4.0;
+  sim.measured_hours = 40.0;
+  return sim;
+}
+
+TEST(DhbSimulator, PlayoutAlwaysVerifies) {
+  for (double rate : {1.0, 20.0, 300.0}) {
+    const SlottedSimResult r = run_dhb_simulation(DhbConfig{}, quick_sim(rate));
+    EXPECT_TRUE(r.playout_ok) << rate << "/h";
+    EXPECT_GT(r.requests, 0u);
+  }
+}
+
+TEST(DhbSimulator, BandwidthIncreasesWithRate) {
+  double prev = -1.0;
+  for (double rate : {1.0, 5.0, 25.0, 125.0}) {
+    const SlottedSimResult r = run_dhb_simulation(DhbConfig{}, quick_sim(rate));
+    EXPECT_GT(r.avg_streams, prev) << rate << "/h";
+    prev = r.avg_streams;
+  }
+}
+
+TEST(DhbSimulator, LowRateCostsAboutLambdaD) {
+  // Isolated requests cost a full video each; at 0.2/h overlaps are rare,
+  // so average bandwidth ~ lambda * D = 0.4 streams.
+  SlottedSimConfig sim = quick_sim(0.2);
+  sim.measured_hours = 150.0;
+  const SlottedSimResult r = run_dhb_simulation(DhbConfig{}, sim);
+  EXPECT_NEAR(r.avg_streams, 0.4, 0.1);
+}
+
+TEST(DhbSimulator, SaturationNearHarmonic) {
+  const SlottedSimResult r =
+      run_dhb_simulation(DhbConfig{}, quick_sim(2000.0));
+  const double h = harmonic_number(99);
+  EXPECT_GT(r.avg_streams, h - 0.05);
+  EXPECT_LT(r.avg_streams, h + 0.5);
+}
+
+TEST(DhbSimulator, SharedFractionGrowsWithRate) {
+  const SlottedSimResult lo = run_dhb_simulation(DhbConfig{}, quick_sim(2.0));
+  const SlottedSimResult hi =
+      run_dhb_simulation(DhbConfig{}, quick_sim(500.0));
+  EXPECT_LT(lo.shared_fraction, hi.shared_fraction);
+  EXPECT_GT(hi.shared_fraction, 0.9);
+  EXPECT_LT(hi.new_instances_per_request, lo.new_instances_per_request);
+}
+
+TEST(DhbSimulator, MaxAtLeastAverage) {
+  const SlottedSimResult r = run_dhb_simulation(DhbConfig{}, quick_sim(50.0));
+  EXPECT_GE(r.max_streams, r.avg_streams);
+  EXPECT_LE(r.max_streams, 99.0);
+}
+
+TEST(DhbSimulator, WaitingTimeMatchesSlotGuarantee) {
+  // "No customer will ever wait more than 1/99 of the duration of the
+  // video, that is no more than 73 seconds" — and the mean is half a slot
+  // under Poisson arrivals.
+  const SlottedSimResult r = run_dhb_simulation(DhbConfig{}, quick_sim(60.0));
+  const double d = 7200.0 / 99.0;
+  EXPECT_LE(r.max_wait_s, d);
+  EXPECT_GT(r.max_wait_s, 0.8 * d);  // some arrival lands near a boundary
+  EXPECT_NEAR(r.avg_wait_s, d / 2.0, 0.08 * d);
+}
+
+TEST(DhbSimulator, ProvisioningQuantilesOrdered) {
+  const SlottedSimResult r = run_dhb_simulation(DhbConfig{}, quick_sim(50.0));
+  EXPECT_LE(r.avg_streams, r.p99_streams + 1.0);
+  EXPECT_LE(r.p99_streams, r.p999_streams);
+  EXPECT_LE(r.p999_streams, r.max_streams);
+  EXPECT_GT(r.p99_streams, 0.0);
+}
+
+TEST(DhbSimulator, QuantilesBelowMaxAtSaturation) {
+  // The heuristic keeps the tail tight: p99.9 should sit within one stream
+  // of the Figure 8 maximum.
+  const SlottedSimResult r =
+      run_dhb_simulation(DhbConfig{}, quick_sim(1000.0));
+  EXPECT_GE(r.p999_streams, r.max_streams - 1.5);
+}
+
+TEST(DhbSimulator, ConfidenceIntervalBracketssMean) {
+  SlottedSimConfig sim = quick_sim(30.0);
+  sim.measured_hours = 100.0;
+  const SlottedSimResult r = run_dhb_simulation(DhbConfig{}, sim);
+  EXPECT_GT(r.avg_ci.batches, 10u);
+  EXPECT_LE(r.avg_ci.lo(), r.avg_streams);
+  EXPECT_GE(r.avg_ci.hi(), r.avg_streams);
+  EXPECT_LT(r.avg_ci.half_width, 0.5);
+}
+
+TEST(DhbSimulator, DeterministicForSeed) {
+  const SlottedSimResult a = run_dhb_simulation(DhbConfig{}, quick_sim(10.0));
+  const SlottedSimResult b = run_dhb_simulation(DhbConfig{}, quick_sim(10.0));
+  EXPECT_DOUBLE_EQ(a.avg_streams, b.avg_streams);
+  EXPECT_EQ(a.requests, b.requests);
+}
+
+TEST(DhbSimulator, SeedChangesRealization) {
+  SlottedSimConfig sim = quick_sim(10.0);
+  sim.seed = 1;
+  const SlottedSimResult a = run_dhb_simulation(DhbConfig{}, sim);
+  sim.seed = 2;
+  const SlottedSimResult b = run_dhb_simulation(DhbConfig{}, sim);
+  EXPECT_NE(a.requests, b.requests);
+}
+
+TEST(DhbSimulator, ScriptedArrivalsDriveExactRequestCount) {
+  SlottedSimConfig sim;
+  sim.video.num_segments = 10;
+  sim.warmup_hours = 0.0;
+  sim.measured_hours = 2.0;
+  DhbConfig dhb;
+  dhb.num_segments = 10;
+  // Three requests inside the measured window.
+  ScriptedArrivals arrivals({100.0, 800.0, 801.0});
+  const SlottedSimResult r = run_dhb_simulation(dhb, sim, arrivals);
+  EXPECT_EQ(r.requests, 3u);
+  EXPECT_TRUE(r.playout_ok);
+  EXPECT_GT(r.avg_streams, 0.0);
+}
+
+TEST(DhbSimulator, NoArrivalsMeansZeroBandwidth) {
+  SlottedSimConfig sim;
+  sim.warmup_hours = 0.0;
+  sim.measured_hours = 1.0;
+  ScriptedArrivals arrivals({});
+  const SlottedSimResult r = run_dhb_simulation(DhbConfig{}, sim, arrivals);
+  EXPECT_EQ(r.requests, 0u);
+  EXPECT_DOUBLE_EQ(r.avg_streams, 0.0);
+  EXPECT_DOUBLE_EQ(r.max_streams, 0.0);
+}
+
+TEST(DhbSimulator, ClientObservablesReported) {
+  const SlottedSimResult r = run_dhb_simulation(DhbConfig{}, quick_sim(40.0));
+  EXPECT_GE(r.max_client_streams, 1);
+  EXPECT_GE(r.max_client_buffer_segments, 0);
+  EXPECT_EQ(r.cap_violations, 0u);
+}
+
+TEST(DhbSimulatorDeath, SegmentCountMismatch) {
+  SlottedSimConfig sim = quick_sim(1.0);
+  DhbConfig dhb;
+  dhb.num_segments = 50;  // sim.video still says 99
+  EXPECT_DEATH(run_dhb_simulation(dhb, sim), "");
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,125 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vod {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, TiesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(5.0, [&] { order.push_back(1); });
+  q.schedule(5.0, [&] { order.push_back(2); });
+  q.schedule(5.0, [&] { order.push_back(3); });
+  q.run_until(5.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ClockAdvancesToEventTime) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule(4.5, [&] { seen = q.now(); });
+  q.step();
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.5);
+}
+
+TEST(EventQueue, RunUntilStopsBeforeLaterEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(9.0, [&] { ++fired; });
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule(1.0, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  q.run_until(10.0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelFiredEventReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.run_until(2.0);
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, HandlerMaySchedule) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule(1.0, [&] {
+    times.push_back(q.now());
+    q.schedule(2.0, [&] { times.push_back(q.now()); });
+  });
+  q.run_until(5.0);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(EventQueue, HandlerMayCancelPending) {
+  EventQueue q;
+  int fired = 0;
+  EventId victim = 0;
+  q.schedule(1.0, [&] { q.cancel(victim); });
+  victim = q.schedule(2.0, [&] { ++fired; });
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, SchedulingAtCurrentTimeFires) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { q.schedule(q.now(), [&] { ++fired; }); });
+  q.run_until(1.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (int i = 999; i >= 0; --i) {
+    const double t = static_cast<double>(i % 100) + 0.001 * i;
+    q.schedule(t, [&fired, &q] { fired.push_back(q.now()); });
+  }
+  q.run_until(1000.0);
+  ASSERT_EQ(fired.size(), 1000u);
+  for (size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1], fired[i]);
+  }
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,97 @@
+#include "protocols/fast_broadcasting.h"
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+// The paper's Figure 1: FB with three streams and seven segments.
+TEST(FastBroadcasting, Figure1Layout) {
+  const FbMapping fb(7);
+  EXPECT_EQ(fb.streams(), 3);
+  // First stream: S1 forever.
+  for (Slot t = 1; t <= 8; ++t) EXPECT_EQ(fb.segment_at(0, t), 1);
+  // Second stream: S2 S3 S2 S3 ...
+  EXPECT_EQ(fb.segment_at(1, 1), 2);
+  EXPECT_EQ(fb.segment_at(1, 2), 3);
+  EXPECT_EQ(fb.segment_at(1, 3), 2);
+  // Third stream: S4 S5 S6 S7 S4 ...
+  EXPECT_EQ(fb.segment_at(2, 1), 4);
+  EXPECT_EQ(fb.segment_at(2, 4), 7);
+  EXPECT_EQ(fb.segment_at(2, 5), 4);
+}
+
+TEST(FastBroadcasting, CapacityIsPowersOfTwoMinusOne) {
+  EXPECT_EQ(FbMapping::capacity(1), 1);
+  EXPECT_EQ(FbMapping::capacity(2), 3);
+  EXPECT_EQ(FbMapping::capacity(3), 7);
+  EXPECT_EQ(FbMapping::capacity(7), 127);
+  EXPECT_EQ(FbMapping::capacity(0), 0);
+}
+
+TEST(FastBroadcasting, StreamsForSegmentCounts) {
+  EXPECT_EQ(FbMapping::streams_for(1), 1);
+  EXPECT_EQ(FbMapping::streams_for(2), 2);
+  EXPECT_EQ(FbMapping::streams_for(3), 2);
+  EXPECT_EQ(FbMapping::streams_for(4), 3);
+  EXPECT_EQ(FbMapping::streams_for(7), 3);
+  EXPECT_EQ(FbMapping::streams_for(8), 4);
+  // The paper's configuration: 99 segments need 7 FB streams.
+  EXPECT_EQ(FbMapping::streams_for(99), 7);
+}
+
+TEST(FastBroadcasting, StreamOfSegment) {
+  const FbMapping fb(99);
+  EXPECT_EQ(fb.stream_of(1), 0);
+  EXPECT_EQ(fb.stream_of(2), 1);
+  EXPECT_EQ(fb.stream_of(3), 1);
+  EXPECT_EQ(fb.stream_of(4), 2);
+  EXPECT_EQ(fb.stream_of(63), 5);
+  EXPECT_EQ(fb.stream_of(64), 6);
+  EXPECT_EQ(fb.stream_of(99), 6);
+}
+
+TEST(FastBroadcasting, TruncatedLastStreamRotation) {
+  const FbMapping fb(99);
+  EXPECT_EQ(fb.streams(), 7);
+  EXPECT_EQ(fb.rotation_length(0), 1);
+  EXPECT_EQ(fb.rotation_length(5), 32);
+  EXPECT_EQ(fb.rotation_length(6), 36);  // 64..99, not the full 64
+}
+
+class FbValidationTest : public ::testing::TestWithParam<int> {};
+
+// The generalized mapping must satisfy the pinwheel property for any n.
+TEST_P(FbValidationTest, MappingIsValid) {
+  const FbMapping fb(GetParam());
+  const MappingValidation v = validate_mapping(fb);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+// And clients must meet deadlines from any arrival slot.
+TEST_P(FbValidationTest, FirstOccurrenceWithinDeadline) {
+  const FbMapping fb(GetParam());
+  for (Slot arrival : {0, 1, 5, 17}) {
+    const std::vector<Slot> occ = first_occurrences(fb, arrival);
+    for (Segment j = 1; j <= fb.num_segments(); ++j) {
+      ASSERT_LE(occ[static_cast<size_t>(j)], arrival + j)
+          << "S" << j << " arrival " << arrival;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentCounts, FbValidationTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 15, 31, 45, 99, 127),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(FastBroadcasting, CycleLengthCoversAllRotations) {
+  const FbMapping fb(7);
+  EXPECT_EQ(fb.cycle_length() % 1, 0);
+  EXPECT_EQ(fb.cycle_length() % 2, 0);
+  EXPECT_EQ(fb.cycle_length() % 4, 0);
+}
+
+}  // namespace
+}  // namespace vod

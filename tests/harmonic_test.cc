@@ -1,0 +1,85 @@
+#include "protocols/harmonic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vod {
+namespace {
+
+TEST(Harmonic, KnownValues) {
+  EXPECT_DOUBLE_EQ(harmonic_number(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_number(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic_number(2), 1.5);
+  EXPECT_NEAR(harmonic_number(4), 25.0 / 12.0, 1e-12);
+  EXPECT_NEAR(harmonic_number(99), 5.1773, 1e-3);
+}
+
+TEST(Harmonic, AsymptoticLogGamma) {
+  // H_n ~ ln n + gamma.
+  const double gamma = 0.5772156649;
+  EXPECT_NEAR(harmonic_number(100000), std::log(100000.0) + gamma, 1e-4);
+}
+
+TEST(Harmonic, BandwidthEqualsHarmonicNumber) {
+  EXPECT_DOUBLE_EQ(harmonic_bandwidth(99), harmonic_number(99));
+}
+
+TEST(EvzBound, ZeroRateIsZero) {
+  EXPECT_DOUBLE_EQ(evz_lower_bound(0.0, 7200.0), 0.0);
+}
+
+TEST(EvzBound, KnownPoint) {
+  // lambda*D = 200 -> ln(201).
+  EXPECT_NEAR(evz_lower_bound(100.0 / 3600.0, 7200.0), std::log(201.0), 1e-9);
+}
+
+TEST(EvzBound, MonotoneInRate) {
+  double prev = 0.0;
+  for (double per_hour : {1.0, 5.0, 50.0, 500.0}) {
+    const double b = evz_lower_bound(per_hour / 3600.0, 7200.0);
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(EvzBound, DelayReducesBandwidth) {
+  const double lambda = 100.0 / 3600.0;
+  const double immediate = evz_lower_bound(lambda, 7200.0);
+  const double delayed = evz_lower_bound_delayed(lambda, 7200.0, 73.0);
+  EXPECT_LT(delayed, immediate);
+  EXPECT_GT(delayed, 0.0);
+}
+
+TEST(EvzBound, ZeroDelayMatchesImmediate) {
+  const double lambda = 10.0 / 3600.0;
+  EXPECT_DOUBLE_EQ(evz_lower_bound_delayed(lambda, 7200.0, 0.0),
+                   evz_lower_bound(lambda, 7200.0));
+}
+
+TEST(Polyharmonic, MEqualsOneIsHarmonic) {
+  EXPECT_DOUBLE_EQ(polyharmonic_bandwidth(99, 1), harmonic_number(99));
+}
+
+TEST(Polyharmonic, LongerWaitLowersBandwidth) {
+  double prev = polyharmonic_bandwidth(99, 1);
+  for (int m : {2, 4, 8, 16}) {
+    const double b = polyharmonic_bandwidth(99, m);
+    EXPECT_LT(b, prev) << m;
+    prev = b;
+  }
+}
+
+TEST(Polyharmonic, KnownValue) {
+  // n=3, m=2: 1/2 + 1/3 + 1/4 = 13/12.
+  EXPECT_NEAR(polyharmonic_bandwidth(3, 2), 13.0 / 12.0, 1e-12);
+}
+
+TEST(Polyharmonic, ApproachesLogOfRatio) {
+  // For large m, bandwidth ~ ln((n + m)/m).
+  const double b = polyharmonic_bandwidth(1000, 500);
+  EXPECT_NEAR(b, std::log(1500.0 / 500.0), 0.01);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,83 @@
+#include "core/heuristics.h"
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+// Builds a schedule with the given loads in slots 1..loads.size().
+SlotSchedule make_schedule(const std::vector<int>& loads) {
+  SlotSchedule s(100, static_cast<int>(loads.size()));
+  for (size_t i = 0; i < loads.size(); ++i) {
+    for (int k = 0; k < loads[i]; ++k) {
+      s.add_instance(static_cast<Segment>(k + 1),
+                     static_cast<Slot>(i + 1));
+    }
+  }
+  return s;
+}
+
+TEST(Heuristics, MinLoadLatestPicksEmptiestSlot) {
+  SlotSchedule s = make_schedule({3, 1, 2, 4});
+  EXPECT_EQ(choose_slot(SlotHeuristic::kMinLoadLatest, s, 1, 4, nullptr), 2);
+}
+
+TEST(Heuristics, MinLoadLatestBreaksTiesLate) {
+  // Figure 6: "let k_max := max {k | m_k = m_min}".
+  SlotSchedule s = make_schedule({1, 0, 2, 0, 3});
+  EXPECT_EQ(choose_slot(SlotHeuristic::kMinLoadLatest, s, 1, 5, nullptr), 4);
+}
+
+TEST(Heuristics, MinLoadLatestUniformLoadsPicksLast) {
+  SlotSchedule s = make_schedule({2, 2, 2});
+  EXPECT_EQ(choose_slot(SlotHeuristic::kMinLoadLatest, s, 1, 3, nullptr), 3);
+}
+
+TEST(Heuristics, MinLoadEarliestBreaksTiesEarly) {
+  SlotSchedule s = make_schedule({1, 0, 2, 0, 3});
+  EXPECT_EQ(choose_slot(SlotHeuristic::kMinLoadEarliest, s, 1, 5, nullptr), 2);
+}
+
+TEST(Heuristics, LatestIgnoresLoads) {
+  SlotSchedule s = make_schedule({0, 9, 9});
+  EXPECT_EQ(choose_slot(SlotHeuristic::kLatest, s, 1, 3, nullptr), 3);
+}
+
+TEST(Heuristics, EarliestIgnoresLoads) {
+  SlotSchedule s = make_schedule({9, 0, 0});
+  EXPECT_EQ(choose_slot(SlotHeuristic::kEarliest, s, 1, 3, nullptr), 1);
+}
+
+TEST(Heuristics, RandomStaysInWindow) {
+  SlotSchedule s = make_schedule({0, 0, 0, 0, 0});
+  Rng rng(1);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 500; ++i) {
+    const Slot c = choose_slot(SlotHeuristic::kRandom, s, 2, 4, &rng);
+    EXPECT_GE(c, 2);
+    EXPECT_LE(c, 4);
+    hit_lo = hit_lo || c == 2;
+    hit_hi = hit_hi || c == 4;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Heuristics, SingleSlotWindow) {
+  SlotSchedule s = make_schedule({5, 5, 5});
+  for (auto h : {SlotHeuristic::kMinLoadLatest, SlotHeuristic::kMinLoadEarliest,
+                 SlotHeuristic::kLatest, SlotHeuristic::kEarliest}) {
+    EXPECT_EQ(choose_slot(h, s, 2, 2, nullptr), 2) << to_string(h);
+  }
+}
+
+TEST(Heuristics, Names) {
+  EXPECT_EQ(to_string(SlotHeuristic::kMinLoadLatest), "min-load-latest");
+  EXPECT_EQ(to_string(SlotHeuristic::kLatest), "latest");
+  EXPECT_EQ(to_string(SlotHeuristic::kEarliest), "earliest");
+  EXPECT_EQ(to_string(SlotHeuristic::kMinLoadEarliest), "min-load-earliest");
+  EXPECT_EQ(to_string(SlotHeuristic::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,149 @@
+#include "server/multi_video.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "protocols/npb.h"
+
+namespace vod {
+namespace {
+
+MultiVideoConfig quick(VideoPolicy policy, double total_rate) {
+  MultiVideoConfig c;
+  c.catalog_size = 10;
+  c.total_requests_per_hour = total_rate;
+  c.warmup_hours = 4.0;
+  c.measured_hours = 60.0;
+  c.policy = policy;
+  return c;
+}
+
+TEST(MultiVideo, StaticPolicyIsConstant) {
+  const MultiVideoConfig c = quick(VideoPolicy::kStatic, 100.0);
+  const MultiVideoResult r = run_multi_video_simulation(c);
+  const double per_video = static_cast<double>(NpbMapping::streams_for(99));
+  EXPECT_DOUBLE_EQ(r.avg_streams, per_video * 10.0);
+  EXPECT_DOUBLE_EQ(r.max_streams, per_video * 10.0);
+}
+
+TEST(MultiVideo, DhbBeatsStaticAtModerateLoad) {
+  // 200 requests/hour across ten videos: even the top Zipf rank is far
+  // from saturation, so the dynamic server needs much less bandwidth.
+  const MultiVideoResult dhb =
+      run_multi_video_simulation(quick(VideoPolicy::kDhb, 200.0));
+  const MultiVideoResult fixed =
+      run_multi_video_simulation(quick(VideoPolicy::kStatic, 200.0));
+  EXPECT_LT(dhb.avg_streams, 0.7 * fixed.avg_streams);
+}
+
+TEST(MultiVideo, HybridBetweenTheTwo) {
+  const MultiVideoResult dhb =
+      run_multi_video_simulation(quick(VideoPolicy::kDhb, 200.0));
+  const MultiVideoResult hybrid =
+      run_multi_video_simulation(quick(VideoPolicy::kHybrid, 200.0));
+  const MultiVideoResult fixed =
+      run_multi_video_simulation(quick(VideoPolicy::kStatic, 200.0));
+  EXPECT_GE(hybrid.avg_streams, dhb.avg_streams);
+  EXPECT_LE(hybrid.avg_streams, fixed.avg_streams);
+}
+
+TEST(MultiVideo, PopularityFollowsZipf) {
+  MultiVideoConfig c = quick(VideoPolicy::kDhb, 500.0);
+  c.measured_hours = 120.0;
+  const MultiVideoResult r = run_multi_video_simulation(c);
+  // Rank 1 gets the most requests and the most bandwidth.
+  EXPECT_GT(r.per_video_requests[0], r.per_video_requests[9]);
+  EXPECT_GT(r.per_video_avg[0], r.per_video_avg[9]);
+  const uint64_t total = std::accumulate(r.per_video_requests.begin(),
+                                         r.per_video_requests.end(),
+                                         static_cast<uint64_t>(0));
+  EXPECT_EQ(total, r.requests);
+}
+
+TEST(MultiVideo, PerVideoBandwidthSumsToAggregate) {
+  const MultiVideoResult r =
+      run_multi_video_simulation(quick(VideoPolicy::kHybrid, 300.0));
+  const double sum = std::accumulate(r.per_video_avg.begin(),
+                                     r.per_video_avg.end(), 0.0);
+  EXPECT_NEAR(sum, r.avg_streams, 1e-6);
+}
+
+TEST(MultiVideo, DhbPerVideoBelowNpbCeiling) {
+  MultiVideoConfig c = quick(VideoPolicy::kDhb, 2000.0);
+  const MultiVideoResult r = run_multi_video_simulation(c);
+  const double ceiling = static_cast<double>(NpbMapping::streams_for(99));
+  for (double v : r.per_video_avg) EXPECT_LT(v, ceiling);
+}
+
+TEST(MultiVideo, HybridStaticRanksPinned) {
+  MultiVideoConfig c = quick(VideoPolicy::kHybrid, 100.0);
+  c.hybrid_static_top = 2;
+  const MultiVideoResult r = run_multi_video_simulation(c);
+  const double per_video = static_cast<double>(NpbMapping::streams_for(99));
+  EXPECT_DOUBLE_EQ(r.per_video_avg[0], per_video);
+  EXPECT_DOUBLE_EQ(r.per_video_avg[1], per_video);
+  EXPECT_LT(r.per_video_avg[2], per_video);
+}
+
+TEST(MultiVideo, HeterogeneousCatalogSupported) {
+  MultiVideoConfig c = quick(VideoPolicy::kDhb, 300.0);
+  c.catalog_size = 4;
+  c.per_video_segments = {99, 49, 149, 25};    // 2 h, 1 h, 3 h, 30 min
+  c.per_video_rate_kbs = {600.0, 800.0, 500.0, 700.0};
+  const MultiVideoResult r = run_multi_video_simulation(c);
+  EXPECT_GT(r.avg_streams, 0.0);
+  EXPECT_GT(r.avg_kbs, 0.0);
+  EXPECT_GE(r.max_kbs, r.avg_kbs);
+  // KB/s accounting is rate-weighted: it exceeds avg_streams * min rate
+  // and stays below avg_streams * max rate.
+  EXPECT_GT(r.avg_kbs, r.avg_streams * 500.0 * 0.99);
+  EXPECT_LT(r.avg_kbs, r.avg_streams * 800.0 * 1.01);
+}
+
+TEST(MultiVideo, HomogeneousKbsDefaultsToUnitRate) {
+  const MultiVideoResult r =
+      run_multi_video_simulation(quick(VideoPolicy::kDhb, 200.0));
+  EXPECT_NEAR(r.avg_kbs, r.avg_streams, 1e-9);
+}
+
+TEST(MultiVideo, ShorterVideosCostLess) {
+  // Same demand split over a catalog of short videos needs less bandwidth
+  // than over long ones (each isolated request costs its video length).
+  MultiVideoConfig shorter = quick(VideoPolicy::kDhb, 200.0);
+  shorter.catalog_size = 5;
+  shorter.per_video_segments = {25, 25, 25, 25, 25};
+  MultiVideoConfig longer = quick(VideoPolicy::kDhb, 200.0);
+  longer.catalog_size = 5;
+  longer.per_video_segments = {149, 149, 149, 149, 149};
+  const MultiVideoResult rs = run_multi_video_simulation(shorter);
+  const MultiVideoResult rl = run_multi_video_simulation(longer);
+  EXPECT_LT(rs.avg_streams, rl.avg_streams);
+}
+
+TEST(MultiVideoDeath, MismatchedOverrideSizes) {
+  MultiVideoConfig c = quick(VideoPolicy::kDhb, 100.0);
+  c.per_video_segments = {99, 99};  // catalog_size is 10
+  EXPECT_DEATH(run_multi_video_simulation(c), "");
+}
+
+TEST(MultiVideo, DeterministicForSeed) {
+  const MultiVideoResult a =
+      run_multi_video_simulation(quick(VideoPolicy::kDhb, 100.0));
+  const MultiVideoResult b =
+      run_multi_video_simulation(quick(VideoPolicy::kDhb, 100.0));
+  EXPECT_DOUBLE_EQ(a.avg_streams, b.avg_streams);
+  EXPECT_EQ(a.requests, b.requests);
+}
+
+TEST(MultiVideo, AggregatePeakBelowSumOfPeaks) {
+  // Statistical multiplexing: the aggregate maximum is below the sum of
+  // what per-video worst cases would be (99 each) and typically below
+  // catalog_size * DHB's single-video max.
+  MultiVideoConfig c = quick(VideoPolicy::kDhb, 1000.0);
+  const MultiVideoResult r = run_multi_video_simulation(c);
+  EXPECT_LT(r.max_streams, 10.0 * 8.0);
+}
+
+}  // namespace
+}  // namespace vod

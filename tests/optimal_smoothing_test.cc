@@ -1,0 +1,119 @@
+#include "vbr/optimal_smoothing.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vbr/smoothing.h"
+#include "vbr/synthetic.h"
+
+namespace vod {
+namespace {
+
+VbrTrace cbr_trace(int seconds, double kbs) {
+  return VbrTrace(std::vector<double>(static_cast<size_t>(seconds), kbs));
+}
+
+const VbrTrace& matrix_trace() {
+  static const VbrTrace t = generate_synthetic_vbr(SyntheticVbrParams{});
+  return t;
+}
+
+TEST(OptimalSmoothing, CbrIsOneSegment) {
+  const VbrTrace t = cbr_trace(600, 500.0);
+  const SmoothingPlan plan = optimal_smoothing_plan(t, 30000.0, 10.0);
+  EXPECT_TRUE(verify_smoothing_plan(t, 30000.0, 10.0, plan));
+  // A CBR video with a head-start smooths to (nearly) one constant rate
+  // slightly below the consumption rate (the delay adds slack).
+  EXPECT_LE(plan.rate_changes(), 2);
+  EXPECT_LT(plan.peak_rate_kbs(), 500.0 + 1e-6);
+  EXPECT_GT(plan.peak_rate_kbs(), 480.0);
+}
+
+TEST(OptimalSmoothing, PlanIsFeasibleOnVbrTrace) {
+  for (double buffer_mb : {16.0, 64.0, 256.0}) {
+    const SmoothingPlan plan =
+        optimal_smoothing_plan(matrix_trace(), buffer_mb * 1000.0, 60.0);
+    EXPECT_TRUE(
+        verify_smoothing_plan(matrix_trace(), buffer_mb * 1000.0, 60.0, plan))
+        << buffer_mb << " MB";
+  }
+}
+
+TEST(OptimalSmoothing, PeakDecreasesWithBuffer) {
+  double prev = 1e12;
+  for (double buffer_mb : {8.0, 32.0, 128.0, 512.0}) {
+    const SmoothingPlan plan =
+        optimal_smoothing_plan(matrix_trace(), buffer_mb * 1000.0, 60.0);
+    EXPECT_LE(plan.peak_rate_kbs(), prev + 1e-9) << buffer_mb;
+    prev = plan.peak_rate_kbs();
+  }
+}
+
+TEST(OptimalSmoothing, LargeBufferReachesPrefixBound) {
+  // Even an unlimited buffer cannot transmit below the binding prefix of
+  // the consumption curve (the demanding opening): the peak lands between
+  // the whole-video average slope and the §4 constant work-ahead rate, and
+  // the plan needs only a handful of rate changes.
+  const SmoothingPlan plan =
+      optimal_smoothing_plan(matrix_trace(), 1e9, 60.0);
+  const double horizon = static_cast<double>(matrix_trace().duration_s()) + 60.0;
+  EXPECT_GE(plan.peak_rate_kbs(), matrix_trace().total_kb() / horizon - 1e-6);
+  EXPECT_LE(plan.peak_rate_kbs(),
+            min_workahead_rate_kbs(matrix_trace(), 8170.0 / 137.0) + 1e-6);
+  EXPECT_LE(plan.rate_changes(), 20);
+}
+
+TEST(OptimalSmoothing, TinyBufferTracksConsumption) {
+  // A near-zero buffer forces the schedule to hug the consumption curve:
+  // the peak approaches the trace's own peak.
+  const SmoothingPlan plan =
+      optimal_smoothing_plan(matrix_trace(), 2000.0, 60.0);
+  EXPECT_GT(plan.peak_rate_kbs(), 0.85 * matrix_trace().peak_rate_kbs(1));
+  EXPECT_TRUE(verify_smoothing_plan(matrix_trace(), 2000.0, 60.0, plan));
+}
+
+TEST(OptimalSmoothing, NeverBeatsConstantRateBound) {
+  // The constant-rate work-ahead of smoothing.h solves the same problem
+  // with an infinite buffer and slot-grained deadlines; the taut string
+  // with a big buffer must come in at or below it.
+  const double d = 8170.0 / 137.0;
+  const double constant = min_workahead_rate_kbs(matrix_trace(), d);
+  const SmoothingPlan plan =
+      optimal_smoothing_plan(matrix_trace(), 1e9, d);
+  EXPECT_LE(plan.peak_rate_kbs(), constant + 1e-6);
+}
+
+TEST(OptimalSmoothing, DeliversWholeVideoExactly) {
+  const SmoothingPlan plan =
+      optimal_smoothing_plan(matrix_trace(), 64000.0, 60.0);
+  EXPECT_NEAR(plan.cumulative_kb(plan.end_s()), matrix_trace().total_kb(),
+              1.0);
+}
+
+TEST(OptimalSmoothing, SegmentsAreContiguous) {
+  const SmoothingPlan plan =
+      optimal_smoothing_plan(matrix_trace(), 64000.0, 60.0);
+  ASSERT_FALSE(plan.segments.empty());
+  EXPECT_DOUBLE_EQ(plan.segments.front().start_s, 0.0);
+  for (size_t i = 1; i < plan.segments.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plan.segments[i].start_s, plan.segments[i - 1].end_s);
+  }
+}
+
+TEST(OptimalSmoothing, MoreBufferFewerOrEqualPeaks) {
+  const SmoothingPlan small =
+      optimal_smoothing_plan(matrix_trace(), 16000.0, 60.0);
+  const SmoothingPlan big =
+      optimal_smoothing_plan(matrix_trace(), 256000.0, 60.0);
+  EXPECT_LT(big.peak_rate_kbs(), small.peak_rate_kbs());
+}
+
+TEST(OptimalSmoothingDeath, RejectsBadArguments) {
+  const VbrTrace t = cbr_trace(60, 100.0);
+  EXPECT_DEATH(optimal_smoothing_plan(t, 0.0, 10.0), "");
+  EXPECT_DEATH(optimal_smoothing_plan(t, 1000.0, 0.5), "");
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,56 @@
+#include "protocols/pyramid.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/fast_broadcasting.h"
+
+namespace vod {
+namespace {
+
+TEST(Pyramid, SingleChannelIsWholeVideo) {
+  // One channel: segment 1 is the whole video; wait = D.
+  EXPECT_DOUBLE_EQ(pyramid_max_wait_s(1, 2.5, 7200.0), 7200.0);
+}
+
+TEST(Pyramid, GeometricLatencyDecay) {
+  // alpha = 2.5: waits shrink ~2.5x per added channel.
+  const double w3 = pyramid_max_wait_s(3, 2.5, 7200.0);
+  const double w4 = pyramid_max_wait_s(4, 2.5, 7200.0);
+  EXPECT_GT(w3 / w4, 2.0);
+  EXPECT_LT(w3 / w4, 3.0);
+}
+
+TEST(Pyramid, KnownValue) {
+  // alpha = 2, k = 3: D = d1 * 7 -> d1 = D/7 (matches FB's 3-channel
+  // segment count, at twice the channel rate).
+  EXPECT_NEAR(pyramid_max_wait_s(3, 2.0, 7200.0), 7200.0 / 7.0, 1e-9);
+}
+
+TEST(Pyramid, BandwidthIsChannelsTimesRate) {
+  EXPECT_DOUBLE_EQ(pyramid_bandwidth(4, 2.5), 10.0);
+}
+
+TEST(Pyramid, ChannelsForWaitInvertsMaxWait) {
+  const int k = pyramid_channels_for(73.0, 2.5, 7200.0);
+  EXPECT_LE(pyramid_max_wait_s(k, 2.5, 7200.0), 73.0);
+  EXPECT_GT(pyramid_max_wait_s(k - 1, 2.5, 7200.0), 73.0);
+}
+
+TEST(Pyramid, SuccessorsAreCheaperForTheSameWait) {
+  // The §2 progression: for the paper's 73 s wait on a two-hour video, PB
+  // at alpha = 2.5 spends more consumption-rate units than FB's unit-rate
+  // channels (which NPB then improves again).
+  const double pb = pyramid_bandwidth(
+      pyramid_channels_for(73.0, 2.5, 7200.0), 2.5);
+  const double fb = static_cast<double>(FbMapping::streams_for(99));
+  EXPECT_GT(pb, fb);
+}
+
+TEST(PyramidDeath, RejectsBadArguments) {
+  EXPECT_DEATH(pyramid_max_wait_s(0, 2.5, 7200.0), "");
+  EXPECT_DEATH(pyramid_max_wait_s(3, 1.0, 7200.0), "");
+  EXPECT_DEATH(pyramid_bandwidth(3, 0.5), "");
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,196 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace vod {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMomentsMatch) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sq += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_NEAR(sq / n - 0.25, 1.0 / 12.0, 0.01);  // variance
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit in 1000 draws
+}
+
+TEST(Rng, UniformIndexOne) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, UniformIndexRoughlyUniform) {
+  Rng rng(13);
+  constexpr int kBuckets = 10;
+  int counts[kBuckets] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(kBuckets)];
+  for (int c : counts) EXPECT_NEAR(c, n / kBuckets, 500);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(2.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMemorylessTail) {
+  // P(X > 1/rate) should be e^-1.
+  Rng rng(19);
+  int over = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) over += rng.exponential(1.0) > 1.0;
+  EXPECT_NEAR(static_cast<double>(over) / n, std::exp(-1.0), 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalMean) {
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2).
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(0.0, 0.5);
+  EXPECT_NEAR(sum / n, std::exp(0.125), 0.02);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(37);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double k = static_cast<double>(rng.poisson(3.0));
+    sum += k;
+    sq += k * k;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(sq / n - mean * mean, 3.0, 0.1);  // variance == mean
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonLargeMeanNormalApprox) {
+  Rng rng(43);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(400.0));
+  EXPECT_NEAR(sum / n, 400.0, 1.0);
+}
+
+TEST(Rng, GeometricMean) {
+  // Failures before first success: mean (1-p)/p.
+  Rng rng(47);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(0.25));
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, GeometricPOneIsZero) {
+  Rng rng(53);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, ForkProducesDecorrelatedStreams) {
+  Rng base(59);
+  Rng a = base.fork(1);
+  Rng b = base.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng base1(61), base2(61);
+  Rng a = base1.fork(5);
+  Rng b = base2.fork(5);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(SplitMix64, KnownNonDegenerate) {
+  SplitMix64 sm(0);
+  const uint64_t a = sm.next();
+  const uint64_t b = sm.next();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, 0u);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,121 @@
+#include "vbr/segmentation.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "vbr/smoothing.h"
+#include "vbr/synthetic.h"
+
+namespace vod {
+namespace {
+
+VbrTrace cbr_trace(int seconds, double kbs) {
+  return VbrTrace(std::vector<double>(static_cast<size_t>(seconds), kbs));
+}
+
+TEST(PlaybackSegments, CbrIsFlat) {
+  const VbrTrace t = cbr_trace(600, 500.0);
+  const std::vector<double> rates = playback_segment_rates(t, 60.0);
+  ASSERT_EQ(rates.size(), 10u);
+  for (double r : rates) EXPECT_NEAR(r, 500.0, 1e-9);
+  EXPECT_NEAR(max_segment_rate_kbs(t, 60.0), 500.0, 1e-9);
+}
+
+TEST(PlaybackSegments, RatesAverageToMean) {
+  const VbrTrace t = generate_synthetic_vbr(SyntheticVbrParams{});
+  const double d = 8170.0 / 137.0;
+  const std::vector<double> rates = playback_segment_rates(t, d);
+  ASSERT_EQ(rates.size(), 137u);
+  const double sum = std::accumulate(rates.begin(), rates.end(), 0.0);
+  EXPECT_NEAR(sum * d, t.total_kb(), 1.0);
+}
+
+TEST(PlaybackSegments, MaxBetweenMeanAndPeak) {
+  const VbrTrace t = generate_synthetic_vbr(SyntheticVbrParams{});
+  const double d = 8170.0 / 137.0;
+  const double r = max_segment_rate_kbs(t, d);
+  EXPECT_GT(r, t.mean_rate_kbs());
+  EXPECT_LT(r, t.peak_rate_kbs(1));
+}
+
+TEST(PlaybackSegments, PartialLastSegment) {
+  // 90 s trace with 60 s slots: two segments, the second half-empty.
+  const VbrTrace t = cbr_trace(90, 100.0);
+  const std::vector<double> rates = playback_segment_rates(t, 60.0);
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_NEAR(rates[0], 100.0, 1e-9);
+  EXPECT_NEAR(rates[1], 50.0, 1e-9);  // 30 s of content over a 60 s slot
+}
+
+TEST(WorkaheadPeriods, CbrDegeneratesToIdentity) {
+  const VbrTrace t = cbr_trace(600, 500.0);
+  const std::vector<int> periods = workahead_periods(t, 60.0, 500.0);
+  ASSERT_EQ(periods.size(), 10u);
+  for (size_t k = 0; k < periods.size(); ++k) {
+    EXPECT_EQ(periods[k], static_cast<int>(k + 1)) << "T[" << k + 1 << "]";
+  }
+}
+
+TEST(WorkaheadPeriods, FirstPeriodAlwaysOne) {
+  const VbrTrace t = generate_synthetic_vbr(SyntheticVbrParams{});
+  const double d = 8170.0 / 137.0;
+  const double r = min_workahead_rate_kbs(t, d);
+  const std::vector<int> periods = workahead_periods(t, d, r);
+  EXPECT_EQ(periods.front(), 1);
+}
+
+TEST(WorkaheadPeriods, NonDecreasingAndAtLeastIdentity) {
+  const VbrTrace t = generate_synthetic_vbr(SyntheticVbrParams{});
+  const double d = 8170.0 / 137.0;
+  const double r = min_workahead_rate_kbs(t, d);
+  const std::vector<int> periods = workahead_periods(t, d, r);
+  for (size_t k = 0; k < periods.size(); ++k) {
+    EXPECT_GE(periods[k], static_cast<int>(k + 1)) << k;
+    if (k > 0) {
+      EXPECT_GE(periods[k], periods[k - 1]);
+    }
+  }
+}
+
+TEST(WorkaheadPeriods, ScheduleIsFeasible) {
+  const VbrTrace t = generate_synthetic_vbr(SyntheticVbrParams{});
+  const double d = 8170.0 / 137.0;
+  const double r = min_workahead_rate_kbs(t, d);
+  const std::vector<int> periods = workahead_periods(t, d, r);
+  EXPECT_TRUE(verify_deadline_schedule(t, d, r, periods));
+}
+
+TEST(WorkaheadPeriods, PeriodsAreMaximalAtPlateauEnds) {
+  // T[k] is the *maximum* delay (§4's minimum transmission frequency):
+  // when segment k is the last one due in its slot (T[k] < T[k+1]),
+  // delaying it one further slot must underflow the client.
+  const VbrTrace t = generate_synthetic_vbr(SyntheticVbrParams{});
+  const double d = 8170.0 / 137.0;
+  const double r = min_workahead_rate_kbs(t, d);
+  const std::vector<int> periods = workahead_periods(t, d, r);
+  int checked = 0;
+  for (size_t k = 0; k + 1 < periods.size() && checked < 15; ++k) {
+    if (periods[k] >= periods[k + 1]) continue;  // not a plateau end
+    std::vector<int> relaxed = periods;
+    relaxed[k] = relaxed[k] + 1;
+    EXPECT_FALSE(verify_deadline_schedule(t, d, r, relaxed))
+        << "T[" << k + 1 << "]";
+    ++checked;
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST(WorkaheadPeriods, HigherRateAllowsMoreDelay) {
+  const VbrTrace t = generate_synthetic_vbr(SyntheticVbrParams{});
+  const double d = 8170.0 / 137.0;
+  const double r = min_workahead_rate_kbs(t, d);
+  const std::vector<int> base = workahead_periods(t, d, r);
+  const std::vector<int> generous = workahead_periods(t, d, 1.2 * r);
+  const size_t probe = std::min(base.size(), generous.size()) / 2;
+  EXPECT_GE(generous[probe], base[probe]);
+}
+
+}  // namespace
+}  // namespace vod

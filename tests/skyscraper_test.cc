@@ -1,0 +1,79 @@
+#include "protocols/skyscraper.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/fast_broadcasting.h"
+
+namespace vod {
+namespace {
+
+TEST(Skyscraper, PublishedWidthSeries) {
+  // Hua & Sheu's series: 1, 2, 2, 5, 5, 12, 12, 25, 25, 52, 52.
+  const int expected[] = {1, 2, 2, 5, 5, 12, 12, 25, 25, 52, 52};
+  for (int j = 1; j <= 11; ++j) {
+    EXPECT_EQ(skyscraper_width(j), expected[j - 1]) << "w(" << j << ")";
+  }
+}
+
+TEST(Skyscraper, WidthsKeepDoublingPattern) {
+  EXPECT_EQ(skyscraper_width(12), 2 * 52 + 1);   // 105
+  EXPECT_EQ(skyscraper_width(13), 105);
+  EXPECT_EQ(skyscraper_width(14), 2 * 105 + 2);  // 212
+}
+
+TEST(Skyscraper, CapacityIsPrefixSum) {
+  EXPECT_EQ(SbMapping::capacity(1), 1);
+  EXPECT_EQ(SbMapping::capacity(2), 3);
+  EXPECT_EQ(SbMapping::capacity(3), 5);
+  EXPECT_EQ(SbMapping::capacity(4), 10);
+  EXPECT_EQ(SbMapping::capacity(5), 15);
+  EXPECT_EQ(SbMapping::capacity(6), 27);
+}
+
+TEST(Skyscraper, StreamsForIsInverseOfCapacity) {
+  EXPECT_EQ(SbMapping::streams_for(1), 1);
+  EXPECT_EQ(SbMapping::streams_for(5), 3);
+  EXPECT_EQ(SbMapping::streams_for(6), 4);
+  // SB needs more streams than FB/NPB for the paper's 99 segments — the
+  // §2 comparison.
+  EXPECT_GT(SbMapping::streams_for(99), 7);
+}
+
+// The paper's Figure 3: stream 2 alternates S2/S3, stream 3 alternates
+// S4/S5.
+TEST(Skyscraper, Figure3Layout) {
+  const SbMapping sb(5);
+  EXPECT_EQ(sb.streams(), 3);
+  for (Slot t = 1; t <= 6; ++t) EXPECT_EQ(sb.segment_at(0, t), 1);
+  EXPECT_EQ(sb.segment_at(1, 1), 2);
+  EXPECT_EQ(sb.segment_at(1, 2), 3);
+  EXPECT_EQ(sb.segment_at(1, 3), 2);
+  EXPECT_EQ(sb.segment_at(2, 1), 4);
+  EXPECT_EQ(sb.segment_at(2, 2), 5);
+  EXPECT_EQ(sb.segment_at(2, 3), 4);
+}
+
+class SbValidationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SbValidationTest, MappingIsValid) {
+  const SbMapping sb(GetParam());
+  const MappingValidation v = validate_mapping(sb);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentCounts, SbValidationTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 10, 15, 27, 52, 99),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(Skyscraper, AlwaysNeedsAtLeastFbStreams) {
+  // SB trades server bandwidth for the 2-stream client cap: never fewer
+  // streams than FB.
+  for (int n : {1, 3, 7, 15, 31, 63, 99}) {
+    EXPECT_GE(SbMapping::streams_for(n), FbMapping::streams_for(n)) << n;
+  }
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,117 @@
+#include "vbr/smoothing.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "vbr/synthetic.h"
+
+namespace vod {
+namespace {
+
+VbrTrace cbr_trace(int seconds, double kbs) {
+  return VbrTrace(std::vector<double>(static_cast<size_t>(seconds), kbs));
+}
+
+TEST(Smoothing, CbrRateIsConsumptionRate) {
+  const VbrTrace t = cbr_trace(600, 500.0);
+  EXPECT_NEAR(min_workahead_rate_kbs(t, 60.0), 500.0, 1e-9);
+}
+
+TEST(Smoothing, FrontLoadedTraceNeedsPrefixRate) {
+  // 100 s at 900 KB/s then 500 s at 100 KB/s, 60 s slots. The binding
+  // prefix is the first slot pair.
+  std::vector<double> v(600, 100.0);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = 900.0;
+  const VbrTrace t(std::move(v));
+  const double r = min_workahead_rate_kbs(t, 60.0);
+  // C(60)=54000 -> r >= 900; C(120) = 90000+2000 -> /120 = 766; prefix 1
+  // dominates.
+  EXPECT_NEAR(r, 900.0, 1e-6);
+}
+
+TEST(Smoothing, BackLoadedTraceSmoothsToMean) {
+  // Quiet first, demanding later: work-ahead absorbs the peak entirely and
+  // the binding constraint is the full-length average.
+  std::vector<double> v(600, 100.0);
+  for (int i = 500; i < 600; ++i) v[static_cast<size_t>(i)] = 900.0;
+  const VbrTrace t(std::move(v));
+  const double r = min_workahead_rate_kbs(t, 60.0);
+  const double mean = t.mean_rate_kbs();
+  EXPECT_NEAR(r, mean, 5.0);
+}
+
+TEST(Smoothing, RateIsMinimal) {
+  const VbrTrace t = generate_synthetic_vbr(SyntheticVbrParams{});
+  const double d = 8170.0 / 137.0;
+  const double r = min_workahead_rate_kbs(t, d);
+  const int m = workahead_segment_count(t, d, r);
+  std::vector<int> strict(static_cast<size_t>(m));
+  std::iota(strict.begin(), strict.end(), 1);
+  EXPECT_TRUE(verify_deadline_schedule(t, d, r, strict));
+  // Shaving one percent off must break feasibility.
+  const double r_less = 0.99 * r;
+  const int m_less = workahead_segment_count(t, d, r_less);
+  std::vector<int> strict_less(static_cast<size_t>(m_less));
+  std::iota(strict_less.begin(), strict_less.end(), 1);
+  EXPECT_FALSE(verify_deadline_schedule(t, d, r_less, strict_less));
+}
+
+TEST(Smoothing, SegmentCountCeilsTotal) {
+  const VbrTrace t = cbr_trace(600, 500.0);
+  // total = 300000 KB; r*d = 30000 -> exactly 10 segments.
+  EXPECT_EQ(workahead_segment_count(t, 60.0, 500.0), 10);
+  // Slightly higher rate still needs 10 (ceil).
+  EXPECT_EQ(workahead_segment_count(t, 60.0, 501.0), 10);
+  EXPECT_EQ(workahead_segment_count(t, 60.0, 556.0), 9);
+}
+
+TEST(Smoothing, BufferZeroForCbrAtExactRate) {
+  const VbrTrace t = cbr_trace(600, 500.0);
+  // Delivered k*r*d, consumed C((k-1)d) = (k-1)*r*d: one segment of slack.
+  EXPECT_NEAR(workahead_buffer_kb(t, 60.0, 500.0), 500.0 * 60.0, 1.0);
+}
+
+TEST(Smoothing, HigherRateBuffersMore) {
+  const VbrTrace t = generate_synthetic_vbr(SyntheticVbrParams{});
+  const double d = 8170.0 / 137.0;
+  const double r = min_workahead_rate_kbs(t, d);
+  EXPECT_GT(workahead_buffer_kb(t, d, 1.3 * r),
+            workahead_buffer_kb(t, d, r));
+}
+
+TEST(VerifyDeadlineSchedule, AcceptsStrictCbr) {
+  const VbrTrace t = cbr_trace(600, 500.0);
+  std::vector<int> deadlines(10);
+  std::iota(deadlines.begin(), deadlines.end(), 1);
+  EXPECT_TRUE(verify_deadline_schedule(t, 60.0, 500.0, deadlines));
+}
+
+TEST(VerifyDeadlineSchedule, RejectsLateSegment) {
+  const VbrTrace t = cbr_trace(600, 500.0);
+  std::vector<int> deadlines = {1, 2, 3, 4, 6, 6, 7, 8, 9, 10};  // S5 late
+  EXPECT_FALSE(verify_deadline_schedule(t, 60.0, 500.0, deadlines));
+}
+
+TEST(VerifyDeadlineSchedule, RejectsUnderDelivery) {
+  const VbrTrace t = cbr_trace(600, 500.0);
+  std::vector<int> deadlines(9);  // only nine segments: video incomplete
+  std::iota(deadlines.begin(), deadlines.end(), 1);
+  EXPECT_FALSE(verify_deadline_schedule(t, 60.0, 500.0, deadlines));
+}
+
+TEST(VerifyDeadlineSchedule, AcceptsEarlyDelivery) {
+  const VbrTrace t = cbr_trace(600, 500.0);
+  std::vector<int> deadlines(10, 1);  // everything in slot 1
+  EXPECT_TRUE(verify_deadline_schedule(t, 60.0, 500.0, deadlines));
+}
+
+TEST(VerifyDeadlineScheduleDeath, RejectsDecreasingDeadlines) {
+  const VbrTrace t = cbr_trace(600, 500.0);
+  EXPECT_DEATH(verify_deadline_schedule(t, 60.0, 500.0, {2, 1}),
+               "non-decreasing");
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,133 @@
+#include "protocols/static_mapping.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vod {
+namespace {
+
+// A hand-rolled mapping for validator tests: cycle given as a grid.
+class GridMapping final : public StaticMapping {
+ public:
+  GridMapping(int num_segments, std::vector<std::vector<Segment>> cycle)
+      : n_(num_segments), cycle_(std::move(cycle)) {}
+
+  int streams() const override {
+    return static_cast<int>(cycle_.front().size());
+  }
+  int num_segments() const override { return n_; }
+  Segment segment_at(int stream, Slot slot) const override {
+    const auto& row = cycle_[static_cast<size_t>((slot - 1) % cycle_length())];
+    return row[static_cast<size_t>(stream)];
+  }
+  Slot cycle_length() const override {
+    return static_cast<Slot>(cycle_.size());
+  }
+
+ private:
+  int n_;
+  std::vector<std::vector<Segment>> cycle_;  // [slot % L][stream]
+};
+
+TEST(ValidateMapping, AcceptsFigure2NpbSchedule) {
+  // The paper's Figure 2: NPB packs nine segments on three streams.
+  // Full 12-slot cycle: stream 2 repeats S2 S4 S2 S5 (period 4); stream 3
+  // repeats S3 S6 S8 S3 S7 S9 (period 6).
+  const GridMapping npb(9, {{1, 2, 3},
+                            {1, 4, 6},
+                            {1, 2, 8},
+                            {1, 5, 3},
+                            {1, 2, 7},
+                            {1, 4, 9},
+                            {1, 2, 3},
+                            {1, 5, 6},
+                            {1, 2, 8},
+                            {1, 4, 3},
+                            {1, 2, 7},
+                            {1, 5, 9}});
+  const MappingValidation v = validate_mapping(npb);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(ValidateMapping, RejectsMissingSegment) {
+  const GridMapping m(3, {{1, 2}, {1, 2}});  // S3 never sent
+  const MappingValidation v = validate_mapping(m);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("S3"), std::string::npos);
+}
+
+TEST(ValidateMapping, RejectsExcessiveGap) {
+  // S2 appears only once every 3 slots.
+  const GridMapping m(2, {{1, 2}, {1, 0}, {1, 0}});
+  const MappingValidation v = validate_mapping(m);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("gap"), std::string::npos);
+}
+
+TEST(ValidateMapping, RejectsLateFirstOccurrence) {
+  // S1 first appears in slot 2: a slot-0 arrival would starve.
+  const GridMapping m(2, {{2, 0}, {1, 0}, {1, 2}, {1, 0}});
+  const MappingValidation v = validate_mapping(m);
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(ValidateMapping, RejectsOutOfRangeSegment) {
+  const GridMapping m(2, {{1, 5}});
+  const MappingValidation v = validate_mapping(m);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("range"), std::string::npos);
+}
+
+TEST(ValidateMapping, AcceptsIdleCells) {
+  const GridMapping m(1, {{1, 0}});
+  EXPECT_TRUE(validate_mapping(m).ok);
+}
+
+TEST(FirstOccurrences, FindsEarliestAfterArrival) {
+  const GridMapping m(3, {{1, 2}, {1, 3}});
+  const std::vector<Slot> at0 = first_occurrences(m, 0);
+  EXPECT_EQ(at0[1], 1);
+  EXPECT_EQ(at0[2], 1);
+  EXPECT_EQ(at0[3], 2);
+  const std::vector<Slot> at1 = first_occurrences(m, 1);
+  EXPECT_EQ(at1[1], 2);
+  EXPECT_EQ(at1[2], 3);
+  EXPECT_EQ(at1[3], 2);
+}
+
+TEST(FirstOccurrences, DeadlinePropertyOnValidMapping) {
+  // Full 12-slot cycle: stream 2 repeats S2 S4 S2 S5 (period 4); stream 3
+  // repeats S3 S6 S8 S3 S7 S9 (period 6).
+  const GridMapping npb(9, {{1, 2, 3},
+                            {1, 4, 6},
+                            {1, 2, 8},
+                            {1, 5, 3},
+                            {1, 2, 7},
+                            {1, 4, 9},
+                            {1, 2, 3},
+                            {1, 5, 6},
+                            {1, 2, 8},
+                            {1, 4, 3},
+                            {1, 2, 7},
+                            {1, 5, 9}});
+  for (Slot arrival = 0; arrival < 12; ++arrival) {
+    const std::vector<Slot> occ = first_occurrences(npb, arrival);
+    for (Segment j = 1; j <= 9; ++j) {
+      EXPECT_LE(occ[static_cast<size_t>(j)], arrival + j)
+          << "S" << j << " from arrival " << arrival;
+    }
+  }
+}
+
+TEST(RenderMapping, ShowsGrid) {
+  const GridMapping m(2, {{1, 2}, {1, 0}});
+  const std::string s = render_mapping(m, 1, 4);
+  EXPECT_NE(s.find("S1"), std::string::npos);
+  EXPECT_NE(s.find("S2"), std::string::npos);
+  EXPECT_NE(s.find("Stream 2"), std::string::npos);
+  EXPECT_NE(s.find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,71 @@
+#include "schedule/stream_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+TEST(StreamPool, FirstInstanceOnStreamZero) {
+  StreamPool pool;
+  EXPECT_EQ(pool.assign(1, 5), 0);
+  EXPECT_EQ(pool.streams_used(), 1);
+  EXPECT_EQ(pool.at(0, 5), 1);
+  EXPECT_EQ(pool.at(0, 6), 0);
+}
+
+TEST(StreamPool, CollidingSlotsOpenNewStream) {
+  StreamPool pool;
+  EXPECT_EQ(pool.assign(1, 5), 0);
+  EXPECT_EQ(pool.assign(2, 5), 1);
+  EXPECT_EQ(pool.assign(3, 5), 2);
+  EXPECT_EQ(pool.streams_used(), 3);
+}
+
+TEST(StreamPool, ReusesFreedSlots) {
+  StreamPool pool;
+  pool.assign(1, 5);
+  pool.assign(2, 6);  // stream 0 is idle during slot 6? no — first fit:
+  EXPECT_EQ(pool.at(0, 6), 2);  // lands on stream 0, it is free at slot 6
+  EXPECT_EQ(pool.streams_used(), 1);
+}
+
+// The paper's Figure 4: one request into an idle 6-segment system puts all
+// six instances on the first stream.
+TEST(StreamPool, Figure4SingleStream) {
+  StreamPool pool;
+  for (Segment j = 1; j <= 6; ++j) pool.assign(j, 1 + j);
+  EXPECT_EQ(pool.streams_used(), 1);
+  for (Segment j = 1; j <= 6; ++j) EXPECT_EQ(pool.at(0, 1 + j), j);
+}
+
+// Figure 5: the second request's fresh S1 (slot 4) and S2 (slot 5) land on
+// the second stream because the first carries S3/S4 there.
+TEST(StreamPool, Figure5TwoStreams) {
+  StreamPool pool;
+  for (Segment j = 1; j <= 6; ++j) pool.assign(j, 1 + j);  // first request
+  EXPECT_EQ(pool.assign(1, 4), 1);
+  EXPECT_EQ(pool.assign(2, 5), 1);
+  EXPECT_EQ(pool.streams_used(), 2);
+  EXPECT_EQ(pool.at(1, 4), 1);
+  EXPECT_EQ(pool.at(1, 5), 2);
+}
+
+TEST(StreamPool, RenderShowsSegmentsAndIdle) {
+  StreamPool pool;
+  pool.assign(3, 2);
+  const std::string grid = pool.render(1, 3);
+  EXPECT_NE(grid.find("S3"), std::string::npos);
+  EXPECT_NE(grid.find("Stream 1"), std::string::npos);
+  EXPECT_NE(grid.find('-'), std::string::npos);
+}
+
+TEST(StreamPool, AtOutOfRangeIsIdle) {
+  StreamPool pool;
+  EXPECT_EQ(pool.at(0, 1), 0);
+  EXPECT_EQ(pool.at(-1, 1), 0);
+  pool.assign(1, 1);
+  EXPECT_EQ(pool.at(5, 1), 0);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,115 @@
+#include "vbr/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vod {
+namespace {
+
+const VbrTrace& paper_trace() {
+  static const VbrTrace t = generate_synthetic_vbr(SyntheticVbrParams{});
+  return t;
+}
+
+TEST(SyntheticVbr, MatchesPaperHeadlineStats) {
+  // §4: 8170 s, 636 KB/s average, 951 KB/s one-second peak.
+  const VbrTrace& t = paper_trace();
+  EXPECT_EQ(t.duration_s(), 8170);
+  EXPECT_NEAR(t.mean_rate_kbs(), 636.0, 1.0);
+  EXPECT_NEAR(t.peak_rate_kbs(1), 951.0, 1.0);
+}
+
+TEST(SyntheticVbr, Deterministic) {
+  const VbrTrace a = generate_synthetic_vbr(SyntheticVbrParams{});
+  const VbrTrace b = generate_synthetic_vbr(SyntheticVbrParams{});
+  ASSERT_EQ(a.duration_s(), b.duration_s());
+  for (int i = 0; i < a.duration_s(); i += 97) {
+    ASSERT_DOUBLE_EQ(a.samples()[static_cast<size_t>(i)],
+                     b.samples()[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(SyntheticVbr, SeedChangesRealization) {
+  SyntheticVbrParams p;
+  p.seed = 9999;
+  const VbrTrace other = generate_synthetic_vbr(p);
+  EXPECT_NE(other.samples()[500], paper_trace().samples()[500]);
+  // But calibration still pins the headline stats.
+  EXPECT_NEAR(other.mean_rate_kbs(), 636.0, 1.0);
+  EXPECT_NEAR(other.peak_rate_kbs(1), 951.0, 1.0);
+}
+
+TEST(SyntheticVbr, QuietOpeningIsQuiet) {
+  const VbrTrace& t = paper_trace();
+  const double opening_rate = t.cumulative_kb(120) / 120.0;
+  EXPECT_LT(opening_rate, 0.55 * t.mean_rate_kbs());
+  EXPECT_GT(opening_rate, 0.35 * t.mean_rate_kbs());
+}
+
+TEST(SyntheticVbr, OpeningActionIsDemanding) {
+  const VbrTrace& t = paper_trace();
+  const double action_rate =
+      (t.cumulative_kb(420) - t.cumulative_kb(120)) / 300.0;
+  EXPECT_GT(action_rate, 1.15 * t.mean_rate_kbs());
+}
+
+TEST(SyntheticVbr, AllSamplesPositive) {
+  for (double v : paper_trace().samples()) {
+    ASSERT_GT(v, 0.0);
+    ASSERT_LE(v, 951.0 + 1.0);
+  }
+}
+
+TEST(SyntheticVbr, PeakIsLocalizedNotSustained) {
+  // The one-second peak comes from short spikes: the busiest minute stays
+  // well below the one-second peak (otherwise DHB-a would not waste
+  // bandwidth relative to DHB-b).
+  const VbrTrace& t = paper_trace();
+  EXPECT_LT(t.peak_rate_kbs(60), 0.92 * t.peak_rate_kbs(1));
+}
+
+TEST(VideoProfiles, AllCalibrateToTheirTargets) {
+  for (const SyntheticVbrParams& p :
+       {matrix_profile(), action_profile(), drama_profile(),
+        documentary_profile()}) {
+    const VbrTrace t = generate_synthetic_vbr(p);
+    EXPECT_EQ(t.duration_s(), p.duration_s);
+    EXPECT_NEAR(t.mean_rate_kbs(), p.mean_kbs, 1.0);
+    EXPECT_NEAR(t.peak_rate_kbs(1), p.peak_kbs, 1.0);
+  }
+}
+
+TEST(VideoProfiles, DramaIsNearCbr) {
+  const VbrTrace t = generate_synthetic_vbr(drama_profile());
+  // Busiest minute within 10% of the mean: nothing for smoothing to do.
+  EXPECT_LT(t.peak_rate_kbs(60), 1.10 * t.mean_rate_kbs());
+}
+
+TEST(VideoProfiles, DocumentaryIsBackLoaded) {
+  const VbrTrace t = generate_synthetic_vbr(documentary_profile());
+  const double first_half = t.cumulative_kb(t.duration_s() / 2);
+  EXPECT_LT(first_half, 0.45 * t.total_kb());
+}
+
+TEST(VideoProfiles, MatrixIsTheDefault) {
+  const VbrTrace a = generate_synthetic_vbr(matrix_profile());
+  const VbrTrace b = generate_synthetic_vbr(SyntheticVbrParams{});
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
+TEST(SyntheticVbr, CustomDurationAndTargets) {
+  SyntheticVbrParams p;
+  p.duration_s = 3600;
+  p.mean_kbs = 400.0;
+  p.peak_kbs = 800.0;
+  p.quiet_opening_s = 60;
+  p.action_until_s = 240;
+  const VbrTrace t = generate_synthetic_vbr(p);
+  EXPECT_EQ(t.duration_s(), 3600);
+  EXPECT_NEAR(t.mean_rate_kbs(), 400.0, 1.0);
+  EXPECT_NEAR(t.peak_rate_kbs(1), 800.0, 1.0);
+}
+
+}  // namespace
+}  // namespace vod

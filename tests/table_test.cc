@@ -1,0 +1,70 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+TEST(Table, RendersHeaderAndRule) {
+  Table t({"a", "bb"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"100", "20000"});
+  const std::string s = t.to_string();
+  // Every line must have the same length (fixed-width rendering).
+  size_t line_len = 0;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t nl = s.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    if (line_len == 0) {
+      line_len = nl - pos;
+    } else {
+      EXPECT_EQ(nl - pos, line_len);
+    }
+    pos = nl + 1;
+  }
+}
+
+TEST(Table, PadsMissingCells) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(t.to_string().find("1"), std::string::npos);
+}
+
+TEST(Table, DropsExtraCells) {
+  Table t({"a"});
+  t.add_row({"1", "IGNORED"});
+  EXPECT_EQ(t.to_string().find("IGNORED"), std::string::npos);
+}
+
+TEST(Table, DoubleRowsUsePrecision) {
+  Table t({"v"});
+  t.add_numeric_row({1.23456}, 2);
+  EXPECT_NE(t.to_string().find("1.23"), std::string::npos);
+  EXPECT_EQ(t.to_string().find("1.234"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(FormatDouble, Basic) {
+  EXPECT_EQ(format_double(1.5, 2), "1.50");
+  EXPECT_EQ(format_double(-0.25, 3), "-0.250");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,88 @@
+#include "vbr/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vod {
+namespace {
+
+VbrTrace ramp_trace() {
+  // 10 seconds: 10, 20, ..., 100 KB.
+  std::vector<double> v;
+  for (int i = 1; i <= 10; ++i) v.push_back(10.0 * i);
+  return VbrTrace(std::move(v));
+}
+
+TEST(VbrTrace, BasicStats) {
+  const VbrTrace t = ramp_trace();
+  EXPECT_EQ(t.duration_s(), 10);
+  EXPECT_DOUBLE_EQ(t.total_kb(), 550.0);
+  EXPECT_DOUBLE_EQ(t.mean_rate_kbs(), 55.0);
+}
+
+TEST(VbrTrace, PeakOverWindows) {
+  const VbrTrace t = ramp_trace();
+  EXPECT_DOUBLE_EQ(t.peak_rate_kbs(1), 100.0);
+  EXPECT_DOUBLE_EQ(t.peak_rate_kbs(2), 95.0);   // (90+100)/2
+  EXPECT_DOUBLE_EQ(t.peak_rate_kbs(10), 55.0);  // whole trace
+  EXPECT_DOUBLE_EQ(t.peak_rate_kbs(50), 55.0);  // window longer than trace
+}
+
+TEST(VbrTrace, CumulativeInteger) {
+  const VbrTrace t = ramp_trace();
+  EXPECT_DOUBLE_EQ(t.cumulative_kb(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.cumulative_kb(1), 10.0);
+  EXPECT_DOUBLE_EQ(t.cumulative_kb(3), 60.0);
+  EXPECT_DOUBLE_EQ(t.cumulative_kb(10), 550.0);
+  EXPECT_DOUBLE_EQ(t.cumulative_kb(99), 550.0);  // clamps
+  EXPECT_DOUBLE_EQ(t.cumulative_kb(-5), 0.0);
+}
+
+TEST(VbrTrace, CumulativeInterpolates) {
+  const VbrTrace t = ramp_trace();
+  EXPECT_DOUBLE_EQ(t.cumulative_kb(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(t.cumulative_kb(2.5), 45.0);  // 30 + 0.5*30
+  EXPECT_DOUBLE_EQ(t.cumulative_kb(1e9), 550.0);
+}
+
+TEST(VbrTrace, CumulativeIsMonotone) {
+  const VbrTrace t = ramp_trace();
+  double prev = -1.0;
+  for (double x = 0.0; x <= 11.0; x += 0.25) {
+    const double c = t.cumulative_kb(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(VbrTrace, EmptyTrace) {
+  const VbrTrace t;
+  EXPECT_EQ(t.duration_s(), 0);
+  EXPECT_DOUBLE_EQ(t.total_kb(), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean_rate_kbs(), 0.0);
+  EXPECT_DOUBLE_EQ(t.peak_rate_kbs(1), 0.0);
+}
+
+TEST(VbrTrace, CsvRoundTrip) {
+  const VbrTrace t = ramp_trace();
+  const std::string path = std::string(::testing::TempDir()) + "/trace.csv";
+  ASSERT_TRUE(t.save_csv(path));
+  VbrTrace back;
+  ASSERT_TRUE(VbrTrace::load_csv(path, &back));
+  EXPECT_EQ(back.duration_s(), t.duration_s());
+  EXPECT_DOUBLE_EQ(back.total_kb(), t.total_kb());
+  EXPECT_DOUBLE_EQ(back.cumulative_kb(3), t.cumulative_kb(3));
+}
+
+TEST(VbrTrace, LoadMissingFileFails) {
+  VbrTrace t;
+  EXPECT_FALSE(VbrTrace::load_csv("/nonexistent/trace.csv", &t));
+}
+
+TEST(VbrTraceDeath, RejectsNegativeSamples) {
+  EXPECT_DEATH(VbrTrace({1.0, -2.0}), "negative");
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,69 @@
+#include "sim/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace vod {
+namespace {
+
+TEST(Zipf, UniformWhenExponentZero) {
+  ZipfDistribution z(10, 0.0);
+  for (int i = 0; i < 10; ++i) EXPECT_NEAR(z.probability(i), 0.1, 1e-12);
+}
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  ZipfDistribution z(50, 0.729);
+  double total = 0.0;
+  for (int i = 0; i < 50; ++i) total += z.probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, RanksAreMonotone) {
+  ZipfDistribution z(20, 0.729);
+  for (int i = 1; i < 20; ++i) {
+    EXPECT_GE(z.probability(i - 1), z.probability(i));
+  }
+}
+
+TEST(Zipf, ExactRatios) {
+  ZipfDistribution z(3, 1.0);
+  // Weights 1, 1/2, 1/3 -> probabilities 6/11, 3/11, 2/11.
+  EXPECT_NEAR(z.probability(0), 6.0 / 11.0, 1e-12);
+  EXPECT_NEAR(z.probability(1), 3.0 / 11.0, 1e-12);
+  EXPECT_NEAR(z.probability(2), 2.0 / 11.0, 1e-12);
+}
+
+TEST(Zipf, SamplingMatchesProbabilities) {
+  ZipfDistribution z(8, 0.729);
+  Rng rng(77);
+  std::vector<int> counts(8, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(z.sample(rng))];
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<size_t>(i)]) / n,
+                z.probability(i), 0.005)
+        << "rank " << i;
+  }
+}
+
+TEST(Zipf, SingleItem) {
+  ZipfDistribution z(1, 2.0);
+  Rng rng(1);
+  EXPECT_EQ(z.sample(rng), 0);
+  EXPECT_DOUBLE_EQ(z.probability(0), 1.0);
+}
+
+TEST(Zipf, SampleAlwaysInRange) {
+  ZipfDistribution z(5, 1.5);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const int s = z.sample(rng);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 5);
+  }
+}
+
+}  // namespace
+}  // namespace vod
