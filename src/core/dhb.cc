@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#ifdef VOD_AUDIT
+#include "analysis/schedule_auditor.h"
+#endif
 #include "util/check.h"
 
 namespace vod {
@@ -10,6 +13,9 @@ namespace {
 // Resolves the period vector: empty config means the CBR base protocol
 // T[j] = j (the window of the paper's Figure 6).
 std::vector<int> resolve_periods(const DhbConfig& config) {
+  // Validated here rather than in the constructor body: member initializers
+  // run first, and an empty period vector would be dereferenced below.
+  VOD_CHECK_MSG(config.num_segments >= 1, "need at least one segment");
   std::vector<int> t = config.periods;
   if (t.empty()) {
     t.resize(static_cast<size_t>(config.num_segments));
@@ -32,7 +38,6 @@ DhbScheduler::DhbScheduler(const DhbConfig& config)
       window_(*std::max_element(periods_.begin(), periods_.end())),
       schedule_(config.num_segments, window_),
       rng_(config.heuristic_seed) {
-  VOD_CHECK(config.num_segments >= 1);
   VOD_CHECK(config.client_stream_cap >= 0);
 }
 
@@ -89,6 +94,7 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
   const Slot arrival = schedule_.now();
   const int n = last_segment;
   const int cap = config_.client_stream_cap;
+  if (first_segment != 1) had_clamped_admissions_ = true;
 
   DhbRequestResult result;
   result.plan.arrival_slot = arrival;
@@ -229,6 +235,14 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
   return result;
 }
 
-std::vector<Segment> DhbScheduler::advance_slot() { return schedule_.advance(); }
+std::vector<Segment> DhbScheduler::advance_slot() {
+  std::vector<Segment> out = schedule_.advance();
+#ifdef VOD_AUDIT
+  // Self-checking builds (cmake -DVOD_AUDIT=ON): deep-audit the schedule
+  // invariants after every slot; abort with a violation report on failure.
+  audit_or_die(*this);
+#endif
+  return out;
+}
 
 }  // namespace vod

@@ -99,6 +99,13 @@ class DhbScheduler {
   const SlotSchedule& schedule() const { return schedule_; }
   const std::vector<int>& periods() const { return periods_; }
   int num_segments() const { return config_.num_segments; }
+  const DhbConfig& config() const { return config_; }
+
+  // True once any clamped-window admission (on_resume / mid-video
+  // on_range) has run. Such admissions may legally schedule a second
+  // future instance of a segment, so auditors must drop the strict
+  // ≤1-instance sharing check for this scheduler's lifetime.
+  bool had_clamped_admissions() const { return had_clamped_admissions_; }
 
   // Lifetime counters (for the scheduling-cost analysis of §3).
   uint64_t total_requests() const { return total_requests_; }
@@ -125,6 +132,7 @@ class DhbScheduler {
   uint64_t total_new_instances_ = 0;
   uint64_t total_shared_ = 0;
   uint64_t total_slot_probes_ = 0;
+  bool had_clamped_admissions_ = false;
 };
 
 }  // namespace vod

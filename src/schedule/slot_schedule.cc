@@ -49,6 +49,11 @@ const std::vector<Slot>& SlotSchedule::instances_of(Segment j) const {
   return per_segment_[static_cast<size_t>(j)];
 }
 
+const std::vector<Segment>& SlotSchedule::contents(Slot s) const {
+  VOD_DCHECK(s > now_ && s <= now_ + window_);
+  return contents_[ring_index(s)];
+}
+
 void SlotSchedule::add_instance(Segment j, Slot s) {
   VOD_CHECK(j >= 1 && j <= num_segments_);
   VOD_CHECK_MSG(s > now_ && s <= now_ + window_,

@@ -43,6 +43,11 @@ class SlotSchedule {
   // client-bandwidth-capped variant may create more.
   const std::vector<Slot>& instances_of(Segment j) const;
 
+  // The segment instances scheduled in slot s (insertion order); s must lie
+  // in (now, now+window]. Lets auditors cross-check the per-slot ring
+  // against the per-segment index without advancing the clock.
+  const std::vector<Segment>& contents(Slot s) const;
+
   // Schedules one instance of segment j in slot s (now < s <= now+window).
   void add_instance(Segment j, Slot s);
 
@@ -55,6 +60,10 @@ class SlotSchedule {
   int total_scheduled() const { return total_; }
 
  private:
+  // Test-only backdoor (tests/schedule_auditor_test.cc) used to inject
+  // corruptions and prove the ScheduleAuditor non-vacuous.
+  friend struct SlotScheduleTestPeer;
+
   size_t ring_index(Slot s) const;
 
   int num_segments_;

@@ -3,21 +3,53 @@
 // VOD_CHECK is always on (simulation correctness beats raw speed; the
 // simulations here are tiny compared to what a laptop can do). VOD_DCHECK
 // compiles out in release builds and is used on hot inner loops only.
+//
+// Failure handling. By default a failed check prints the expression and
+// aborts. Tests that want to assert "this check fires" without death tests
+// can install a failure handler with set_check_failure_handler(); a handler
+// that wants to survive the failure must leave check_failed() by throwing
+// (if it returns normally, the default print-and-abort path still runs, so
+// a buggy handler can never silently continue past a failed invariant).
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
-namespace vod::detail {
+namespace vod {
+
+// Called with the failed expression text, source location, and the optional
+// VOD_CHECK_MSG message (empty string when there is none).
+using CheckFailureHandler = void (*)(const char* expr, const char* file,
+                                     int line, const char* msg);
+
+namespace detail {
+
+inline std::atomic<CheckFailureHandler>& check_failure_handler_slot() {
+  static std::atomic<CheckFailureHandler> slot{nullptr};
+  return slot;
+}
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const char* msg) {
+  if (CheckFailureHandler handler = check_failure_handler_slot().load()) {
+    handler(expr, file, line, msg);
+  }
   std::fprintf(stderr, "VOD_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
-               msg[0] ? " — " : "", msg);
+               msg[0] != '\0' ? " — " : "", msg);
   std::abort();
 }
 
-}  // namespace vod::detail
+}  // namespace detail
+
+// Installs `handler` (nullptr restores the abort default) and returns the
+// previously installed handler. Thread-safe; the handler is process-global.
+inline CheckFailureHandler set_check_failure_handler(
+    CheckFailureHandler handler) {
+  return detail::check_failure_handler_slot().exchange(handler);
+}
+
+}  // namespace vod
 
 #define VOD_CHECK(expr)                                              \
   do {                                                               \

@@ -36,9 +36,9 @@ TEST_P(BatchingClosedFormTest, SimulationMatchesClosedForm) {
 
 INSTANTIATE_TEST_SUITE_P(Rates, BatchingClosedFormTest,
                          ::testing::Values(1.0, 10.0, 100.0, 1000.0),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return "r" +
-                                  std::to_string(static_cast<int>(info.param));
+                                  std::to_string(static_cast<int>(param_info.param));
                          });
 
 TEST(Batching, EveryRequestIsServedWithinInterval) {

@@ -1,0 +1,97 @@
+// The installable VOD_CHECK failure handler: tests can observe a failed
+// check (by throwing out of the handler) without death tests, and removing
+// the handler restores the abort default.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/dhb.h"
+#include "schedule/slot_schedule.h"
+#include "util/check.h"
+
+namespace vod {
+namespace {
+
+struct CheckFired {
+  std::string expr;
+  std::string file;
+  int line = 0;
+  std::string msg;
+};
+
+CheckFired& last_fired() {
+  static CheckFired fired;
+  return fired;
+}
+
+[[noreturn]] void throwing_handler(const char* expr, const char* file,
+                                   int line, const char* msg) {
+  last_fired() = CheckFired{expr, file, line, msg};
+  throw std::runtime_error(std::string("VOD_CHECK fired: ") + expr);
+}
+
+class ScopedThrowingHandler {
+ public:
+  ScopedThrowingHandler()
+      : previous_(set_check_failure_handler(&throwing_handler)) {}
+  ~ScopedThrowingHandler() { set_check_failure_handler(previous_); }
+
+ private:
+  CheckFailureHandler previous_;
+};
+
+TEST(CheckHandler, PassingCheckDoesNotInvokeHandler) {
+  ScopedThrowingHandler scoped;
+  last_fired() = {};
+  VOD_CHECK(1 + 1 == 2);
+  VOD_CHECK_MSG(true, "never evaluated");
+  EXPECT_TRUE(last_fired().expr.empty());
+}
+
+TEST(CheckHandler, FailingCheckReachesHandler) {
+  ScopedThrowingHandler scoped;
+  EXPECT_THROW(VOD_CHECK(2 + 2 == 5), std::runtime_error);
+  EXPECT_EQ(last_fired().expr, "2 + 2 == 5");
+  EXPECT_NE(last_fired().file.find("check_handler_test"), std::string::npos);
+  EXPECT_GT(last_fired().line, 0);
+  EXPECT_EQ(last_fired().msg, "");
+}
+
+TEST(CheckHandler, MessageIsForwarded) {
+  ScopedThrowingHandler scoped;
+  EXPECT_THROW(VOD_CHECK_MSG(false, "the reason"), std::runtime_error);
+  EXPECT_EQ(last_fired().msg, "the reason");
+}
+
+TEST(CheckHandler, LibraryChecksAreObservable) {
+  ScopedThrowingHandler scoped;
+  SlotSchedule s(4, 4);
+  // add_instance rejects slots outside (now, now+window] via VOD_CHECK_MSG;
+  // without the handler this would abort the test binary.
+  EXPECT_THROW(s.add_instance(1, 99), std::runtime_error);
+  EXPECT_EQ(last_fired().msg, "instance outside the scheduling window");
+  // The schedule was not modified by the rejected call.
+  EXPECT_EQ(s.total_scheduled(), 0);
+}
+
+TEST(CheckHandler, InvalidSchedulerConfigFailsTheCheckNotTheProcess) {
+  // Regression: with num_segments = 0 the period vector is empty, and the
+  // T[1] == 1 validation used to read t[0] before any size check ran —
+  // undefined behaviour instead of a diagnostic. The guard now fires first.
+  ScopedThrowingHandler scoped;
+  DhbConfig config;
+  config.num_segments = 0;
+  EXPECT_THROW(DhbScheduler{config}, std::runtime_error);
+  EXPECT_EQ(last_fired().msg, "need at least one segment");
+}
+
+TEST(CheckHandler, InstallReturnsPrevious) {
+  CheckFailureHandler mine = &throwing_handler;
+  CheckFailureHandler original = set_check_failure_handler(mine);
+  EXPECT_EQ(original, nullptr);  // abort default has no handler installed
+  EXPECT_EQ(set_check_failure_handler(nullptr), mine);
+}
+
+}  // namespace
+}  // namespace vod

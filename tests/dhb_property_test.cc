@@ -86,11 +86,11 @@ INSTANTIATE_TEST_SUITE_P(
                           SlotHeuristic::kEarliest,
                           SlotHeuristic::kMinLoadEarliest,
                           SlotHeuristic::kRandom)),
-    [](const auto& info) {
+    [](const auto& param_info) {
       std::string name =
-          "n" + std::to_string(std::get<0>(info.param)) + "_load" +
-          std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) +
-          "_" + to_string(std::get<2>(info.param));
+          "n" + std::to_string(std::get<0>(param_info.param)) + "_load" +
+          std::to_string(static_cast<int>(std::get<1>(param_info.param) * 100)) +
+          "_" + to_string(std::get<2>(param_info.param));
       std::replace(name.begin(), name.end(), '-', '_');
       return name;
     });
@@ -124,8 +124,8 @@ TEST_P(DhbCappedPropertyTest, CapRespectedOrReported) {
 
 INSTANTIATE_TEST_SUITE_P(Caps, DhbCappedPropertyTest,
                          ::testing::Values(1, 2, 3, 5),
-                         [](const auto& info) {
-                           return "cap" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "cap" + std::to_string(param_info.param);
                          });
 
 // Saturation behaviour: with at least one request per slot, the average

@@ -82,8 +82,8 @@ TEST_P(FbValidationTest, FirstOccurrenceWithinDeadline) {
 
 INSTANTIATE_TEST_SUITE_P(SegmentCounts, FbValidationTest,
                          ::testing::Values(1, 2, 3, 4, 7, 15, 31, 45, 99, 127),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "n" + std::to_string(param_info.param);
                          });
 
 TEST(FastBroadcasting, CycleLengthCoversAllRotations) {

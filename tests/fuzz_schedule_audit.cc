@@ -1,0 +1,363 @@
+// Differential fuzz driver for the scheduling core.
+//
+// Replays randomized traces of mixed admissions (on_request, on_resume,
+// on_range, on_request_bounded) and slot advances against DhbScheduler,
+// across slot heuristics and period vectors, and after EVERY operation:
+//   * deep-audits the scheduler with ScheduleAuditor (sharing, containment,
+//     load/index consistency, clock, counter conservation, live plans);
+//   * diffs the transmitted schedule — and each admitted client's
+//     reception plan — against a brute-force oracle that re-derives the
+//     Figure 6 algorithm (generalized to ranges, heuristics, and bounded
+//     admission) on naive data structures.
+//
+// The acceptance bar (ISSUE 1): >= 10k audited steps, >= 3 heuristics,
+// >= 2 period vectors, zero violations, zero divergences.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "analysis/schedule_auditor.h"
+#include "core/dhb.h"
+#include "core/heuristics.h"
+#include "sim/random.h"
+
+namespace vod {
+namespace {
+
+// The Figure 6 algorithm on a plain map, generalized the same way the
+// production scheduler is: clamped windows for mid-video joins, pluggable
+// deterministic slot heuristics, and two-phase channel-bounded admission.
+class NaiveOracle {
+ public:
+  NaiveOracle(int n, std::vector<int> periods, SlotHeuristic heuristic)
+      : n_(n), periods_(std::move(periods)), heuristic_(heuristic) {
+    if (periods_.empty()) {
+      for (int j = 1; j <= n_; ++j) periods_.push_back(j);
+    }
+  }
+
+  // Admits segments first..last; returns the chosen reception slot per
+  // segment (index 0 = `first`).
+  std::vector<Slot> admit_range(Segment first, Segment last) {
+    std::vector<Slot> receptions;
+    for (Segment j = first; j <= last; ++j) {
+      const Slot lo = now_ + 1;
+      const Slot hi = now_ + period_for(j, first);
+      Slot chosen = find_shared(j, lo, hi);
+      if (chosen == 0) {
+        chosen = pick(lo, hi, [this](Slot s) { return load(s); });
+        slots_[chosen].push_back(j);
+      }
+      receptions.push_back(chosen);
+    }
+    return receptions;
+  }
+
+  // Mirrors DhbScheduler::on_request_bounded: all-or-nothing admission
+  // under a hard per-slot stream budget, min-load-latest over under-cap
+  // slots, counting this request's own tentative placements.
+  std::optional<std::vector<Slot>> admit_bounded(int cap) {
+    std::map<Slot, int> added;
+    std::vector<std::pair<Segment, Slot>> placements;
+    std::vector<Slot> receptions;
+    for (Segment j = 1; j <= n_; ++j) {
+      const Slot lo = now_ + 1;
+      const Slot hi = now_ + periods_[static_cast<size_t>(j - 1)];
+      Slot chosen = find_shared(j, lo, hi);
+      if (chosen == 0) {
+        int best_load = cap;
+        for (Slot s = hi; s >= lo; --s) {
+          const int m = load(s) + added[s];
+          if (m < best_load) {
+            best_load = m;
+            chosen = s;
+          }
+        }
+        if (chosen == 0) return std::nullopt;  // no mutation happened
+        ++added[chosen];
+        placements.push_back({j, chosen});
+      }
+      receptions.push_back(chosen);
+    }
+    for (const auto& [segment, slot] : placements) {
+      slots_[slot].push_back(segment);
+    }
+    return receptions;
+  }
+
+  std::vector<Segment> advance() {
+    ++now_;
+    std::vector<Segment> out = slots_[now_];
+    slots_.erase(now_);
+    return out;
+  }
+
+ private:
+  int period_for(Segment j, Segment first) const {
+    const int t = periods_[static_cast<size_t>(j - 1)];
+    return first == 1 ? t : std::min(t, static_cast<int>(j - first + 1));
+  }
+
+  int load(Slot s) const {
+    const auto it = slots_.find(s);
+    return it == slots_.end() ? 0 : static_cast<int>(it->second.size());
+  }
+
+  // Latest already-scheduled instance of j in [lo, hi], 0 when none — the
+  // same sharing rule SlotSchedule::find_instance implements.
+  Slot find_shared(Segment j, Slot lo, Slot hi) const {
+    for (Slot s = hi; s >= lo; --s) {
+      const auto it = slots_.find(s);
+      if (it == slots_.end()) continue;
+      if (std::find(it->second.begin(), it->second.end(), j) !=
+          it->second.end()) {
+        return s;
+      }
+    }
+    return 0;
+  }
+
+  template <typename LoadFn>
+  Slot pick(Slot lo, Slot hi, LoadFn load_at) const {
+    switch (heuristic_) {
+      case SlotHeuristic::kLatest:
+        return hi;
+      case SlotHeuristic::kEarliest:
+        return lo;
+      case SlotHeuristic::kMinLoadLatest:
+      case SlotHeuristic::kMinLoadEarliest: {
+        int m_min = load_at(lo);
+        for (Slot s = lo; s <= hi; ++s) m_min = std::min(m_min, load_at(s));
+        if (heuristic_ == SlotHeuristic::kMinLoadEarliest) {
+          for (Slot s = lo; s <= hi; ++s) {
+            if (load_at(s) == m_min) return s;
+          }
+        }
+        for (Slot s = hi; s >= lo; --s) {
+          if (load_at(s) == m_min) return s;
+        }
+        return lo;
+      }
+      case SlotHeuristic::kRandom:
+        break;  // not differential-testable (independent rng streams)
+    }
+    ADD_FAILURE() << "oracle cannot mirror heuristic " << to_string(heuristic_);
+    return lo;
+  }
+
+  int n_;
+  std::vector<int> periods_;
+  SlotHeuristic heuristic_;
+  Slot now_ = 0;
+  std::map<Slot, std::vector<Segment>> slots_;
+};
+
+// Effective per-entry period vector an on_range(first, last) admission runs
+// under; what ScheduleAuditor::track_plan needs.
+std::vector<int> range_periods(const DhbScheduler& dhb, Segment first,
+                               Segment last) {
+  std::vector<int> out;
+  for (Segment j = first; j <= last; ++j) {
+    const int t = dhb.periods()[static_cast<size_t>(j - 1)];
+    out.push_back(first == 1 ? t
+                             : std::min(t, static_cast<int>(j - first + 1)));
+  }
+  return out;
+}
+
+struct FuzzConfig {
+  std::vector<int> periods;  // empty = CBR T[j] = j
+  SlotHeuristic heuristic = SlotHeuristic::kMinLoadLatest;
+  int num_segments = 12;
+  int slots = 500;
+  double arrivals_per_slot = 0.8;
+  uint64_t seed = 1;
+  bool mixed_ops = false;     // resumes + ranges (clamped windows)
+  int bounded_cap = 0;        // >0: use on_request_bounded for full requests
+  int client_stream_cap = 0;  // >0: capped-client variant (audit only)
+  bool diff_oracle = true;    // false for kRandom / capped configs
+};
+
+// Runs one fuzzed trace; adds every audited step to *audited.
+void run_fuzz(const FuzzConfig& fc, uint64_t* audited) {
+  DhbConfig config;
+  config.num_segments = fc.num_segments;
+  config.periods = fc.periods;
+  config.heuristic = fc.heuristic;
+  config.client_stream_cap = fc.client_stream_cap;
+  DhbScheduler dhb(config);
+  NaiveOracle oracle(fc.num_segments, fc.periods, fc.heuristic);
+  const bool duplicates_legal = fc.mixed_ops || fc.client_stream_cap > 0;
+  ScheduleAuditor auditor(
+      AuditOptions{.allow_multiple_instances = duplicates_legal});
+  auditor.attach(dhb);
+  Rng rng(fc.seed);
+
+  const auto audit_now = [&]() {
+    const AuditReport report = auditor.audit(dhb);
+    ASSERT_TRUE(report.ok())
+        << "heuristic=" << to_string(fc.heuristic) << " seed=" << fc.seed
+        << " slot=" << dhb.current_slot() << ": " << report.to_string();
+    ++*audited;
+  };
+
+  for (int slot = 0; slot < fc.slots && !testing::Test::HasFailure(); ++slot) {
+    // Advance both sides and diff the transmitted schedule.
+    const std::vector<Segment> sent = dhb.advance_slot();
+    ASSERT_TRUE(auditor.on_advance(dhb, sent).ok());
+    if (fc.diff_oracle) {
+      std::vector<Segment> a = sent;
+      std::vector<Segment> b = oracle.advance();
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      ASSERT_EQ(a, b) << "transmission divergence at slot "
+                      << dhb.current_slot() << " (heuristic "
+                      << to_string(fc.heuristic) << ", seed " << fc.seed
+                      << ")";
+    }
+    audit_now();
+
+    for (uint64_t k = rng.poisson(fc.arrivals_per_slot); k > 0; --k) {
+      Segment first = 1;
+      Segment last = static_cast<Segment>(fc.num_segments);
+      const double op = fc.mixed_ops ? rng.uniform() : 1.0;
+      if (op < 0.25) {  // resume: watch first..n
+        first = static_cast<Segment>(
+            1 + rng.uniform_index(static_cast<uint64_t>(fc.num_segments)));
+      } else if (op < 0.45) {  // range: watch first..last
+        first = static_cast<Segment>(
+            1 + rng.uniform_index(static_cast<uint64_t>(fc.num_segments)));
+        last = static_cast<Segment>(
+            first + static_cast<Segment>(rng.uniform_index(
+                        static_cast<uint64_t>(fc.num_segments - first + 1))));
+      }
+
+      if (fc.bounded_cap > 0) {
+        const std::optional<DhbRequestResult> got =
+            dhb.on_request_bounded(fc.bounded_cap);
+        const std::optional<std::vector<Slot>> want =
+            oracle.admit_bounded(fc.bounded_cap);
+        ASSERT_EQ(got.has_value(), want.has_value())
+            << "bounded admission verdict divergence at slot "
+            << dhb.current_slot();
+        if (got) {
+          ASSERT_EQ(got->plan.reception_slot, *want)
+              << "bounded plan divergence at slot " << dhb.current_slot();
+          ASSERT_EQ(got->cap_violations, 0);
+          auditor.track_plan(got->plan, 1, range_periods(dhb, 1, last));
+        }
+      } else {
+        const DhbRequestResult got = dhb.on_range(first, last);
+        if (fc.client_stream_cap == 0) {
+          ASSERT_EQ(got.cap_violations, 0);
+        }
+        if (fc.diff_oracle) {
+          const std::vector<Slot> want = oracle.admit_range(first, last);
+          ASSERT_EQ(got.plan.reception_slot, want)
+              << "plan divergence at slot " << dhb.current_slot()
+              << " for range " << first << ".." << last << " (heuristic "
+              << to_string(fc.heuristic) << ", seed " << fc.seed << ")";
+        }
+        auditor.track_plan(got.plan, first, range_periods(dhb, first, last));
+      }
+      audit_now();
+    }
+  }
+}
+
+// VBR-style work-ahead periods (plateaus, T[j] > j allowed past the start)
+// and deadline-critical tight periods (T[j] < j), both paper-§4 shapes.
+std::vector<int> work_ahead_periods() {
+  return {1, 3, 3, 5, 6, 6, 8, 10, 12, 14, 14, 16};
+}
+std::vector<int> tight_periods() {
+  return {1, 2, 2, 3, 3, 4, 4, 5, 6, 6, 7, 8};
+}
+
+TEST(FuzzScheduleAudit, DeterministicHeuristicsAgainstOracle) {
+  const SlotHeuristic heuristics[] = {
+      SlotHeuristic::kMinLoadLatest, SlotHeuristic::kMinLoadEarliest,
+      SlotHeuristic::kLatest, SlotHeuristic::kEarliest};
+  const std::vector<std::vector<int>> period_vectors = {
+      {}, work_ahead_periods(), tight_periods()};
+  uint64_t audited = 0;
+  uint64_t seed = 100;
+  for (SlotHeuristic h : heuristics) {
+    for (const std::vector<int>& periods : period_vectors) {
+      FuzzConfig fc;
+      fc.heuristic = h;
+      fc.periods = periods;
+      fc.seed = ++seed;
+      fc.slots = 300;
+      run_fuzz(fc, &audited);
+      if (testing::Test::HasFailure()) return;
+    }
+  }
+  EXPECT_GE(audited, 6000u);
+}
+
+TEST(FuzzScheduleAudit, MixedResumeRangeOpsAgainstOracle) {
+  const SlotHeuristic heuristics[] = {SlotHeuristic::kMinLoadLatest,
+                                      SlotHeuristic::kMinLoadEarliest};
+  const std::vector<std::vector<int>> period_vectors = {{},
+                                                        work_ahead_periods()};
+  uint64_t audited = 0;
+  uint64_t seed = 200;
+  for (SlotHeuristic h : heuristics) {
+    for (const std::vector<int>& periods : period_vectors) {
+      FuzzConfig fc;
+      fc.heuristic = h;
+      fc.periods = periods;
+      fc.mixed_ops = true;
+      fc.arrivals_per_slot = 1.2;
+      fc.seed = ++seed;
+      fc.slots = 400;
+      run_fuzz(fc, &audited);
+      if (testing::Test::HasFailure()) return;
+    }
+  }
+  EXPECT_GE(audited, 2500u);
+}
+
+TEST(FuzzScheduleAudit, BoundedAdmissionAgainstOracle) {
+  FuzzConfig fc;
+  fc.bounded_cap = 3;
+  fc.arrivals_per_slot = 1.5;  // push into rejection territory
+  fc.seed = 300;
+  fc.slots = 500;
+  uint64_t audited = 0;
+  run_fuzz(fc, &audited);
+  EXPECT_GE(audited, 800u);
+}
+
+TEST(FuzzScheduleAudit, RandomHeuristicAuditOnly) {
+  FuzzConfig fc;
+  fc.heuristic = SlotHeuristic::kRandom;
+  fc.diff_oracle = false;
+  fc.seed = 400;
+  fc.slots = 400;
+  uint64_t audited = 0;
+  run_fuzz(fc, &audited);
+  fc.mixed_ops = true;
+  fc.seed = 401;
+  run_fuzz(fc, &audited);
+  EXPECT_GE(audited, 1000u);
+}
+
+TEST(FuzzScheduleAudit, CappedClientAuditOnly) {
+  FuzzConfig fc;
+  fc.client_stream_cap = 2;
+  fc.diff_oracle = false;  // capped placement has no naive twin here
+  fc.arrivals_per_slot = 1.5;
+  fc.seed = 500;
+  fc.slots = 400;
+  uint64_t audited = 0;
+  run_fuzz(fc, &audited);
+  EXPECT_GE(audited, 800u);
+}
+
+}  // namespace
+}  // namespace vod

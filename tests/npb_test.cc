@@ -103,8 +103,8 @@ TEST_P(NpbValidationTest, GenericValidatorAgreesWhenCycleIsSmall) {
 
 INSTANTIATE_TEST_SUITE_P(StreamCounts, NpbValidationTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6),
-                         [](const auto& info) {
-                           return "k" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "k" + std::to_string(param_info.param);
                          });
 
 TEST(Npb, PartialLoadBelowCapacityIsValid) {

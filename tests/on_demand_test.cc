@@ -35,9 +35,9 @@ TEST_P(OnDemandFbTest, MatchesUdClosedForm) {
 
 INSTANTIATE_TEST_SUITE_P(Rates, OnDemandFbTest,
                          ::testing::Values(1.0, 10.0, 100.0, 1000.0),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return "r" +
-                                  std::to_string(static_cast<int>(info.param));
+                                  std::to_string(static_cast<int>(param_info.param));
                          });
 
 TEST(OnDemand, FbMatchesDedicatedUdSimulator) {

@@ -48,9 +48,9 @@ TEST_P(PatchingClosedFormTest, SimulationMatchesRenewalReward) {
 
 INSTANTIATE_TEST_SUITE_P(Rates, PatchingClosedFormTest,
                          ::testing::Values(2.0, 10.0, 50.0, 200.0),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return "r" +
-                                  std::to_string(static_cast<int>(info.param));
+                                  std::to_string(static_cast<int>(param_info.param));
                          });
 
 TEST(Patching, ThresholdZeroDegeneratesToUnicast) {

@@ -48,9 +48,9 @@ TEST_P(ScClosedFormTest, SimulationMatchesClosedForm) {
 
 INSTANTIATE_TEST_SUITE_P(Rates, ScClosedFormTest,
                          ::testing::Values(1.0, 10.0, 100.0, 1000.0),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return "r" +
-                                  std::to_string(static_cast<int>(info.param));
+                                  std::to_string(static_cast<int>(param_info.param));
                          });
 
 TEST(SelectiveCatching, LogClassGrowth) {

@@ -63,8 +63,8 @@ TEST_P(SbValidationTest, MappingIsValid) {
 
 INSTANTIATE_TEST_SUITE_P(SegmentCounts, SbValidationTest,
                          ::testing::Values(1, 2, 3, 5, 8, 10, 15, 27, 52, 99),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "n" + std::to_string(param_info.param);
                          });
 
 TEST(Skyscraper, AlwaysNeedsAtLeastFbStreams) {

@@ -31,9 +31,9 @@ TEST_P(UdClosedFormTest, SimulationMatchesExpectation) {
 
 INSTANTIATE_TEST_SUITE_P(Rates, UdClosedFormTest,
                          ::testing::Values(1.0, 5.0, 20.0, 100.0, 500.0),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return "r" +
-                                  std::to_string(static_cast<int>(info.param));
+                                  std::to_string(static_cast<int>(param_info.param));
                          });
 
 TEST(Ud, SaturatesToFbStreamCount) {

@@ -79,8 +79,8 @@ TEST_P(VbrPlayoutTest, RandomClientsNeverUnderflow) {
 
 INSTANTIATE_TEST_SUITE_P(Variants, VbrPlayoutTest,
                          ::testing::Values("c", "d"),
-                         [](const auto& info) {
-                           return std::string("DHB_") + info.param;
+                         [](const auto& param_info) {
+                           return std::string("DHB_") + param_info.param;
                          });
 
 TEST(VbrPlayout, VariantBRateDeliversEachSegmentInTime) {
