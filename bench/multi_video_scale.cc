@@ -1,0 +1,158 @@
+// Scaling of the sharded multi-video engine: slots/sec and parallel
+// speedup for 100 / 1,000 / 10,000-video Zipf catalogs at 1 / 2 / 4 / 8
+// threads, with a built-in bit-identity check (every thread count must
+// reproduce the 1-thread result exactly — see DESIGN.md §8).
+//
+// Usage: multi_video_scale [--smoke] [output.json]
+//   --smoke  quick CI variant: smallest catalog only, 1 and 2 threads.
+//   Writes a machine-readable record to BENCH_multi_video.json (or the
+//   given path) next to the human-readable table.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "server/multi_video.h"
+#include "util/table.h"
+
+namespace {
+
+using vod::MultiVideoConfig;
+using vod::MultiVideoResult;
+
+struct Measurement {
+  int catalog = 0;
+  int threads = 0;
+  double seconds = 0.0;
+  double slots_per_sec = 0.0;  // video-slot advances per wall second
+  double speedup = 1.0;        // vs the 1-thread run of the same catalog
+  MultiVideoResult result;
+};
+
+MultiVideoConfig scale_config(int catalog, bool smoke) {
+  MultiVideoConfig c;
+  c.catalog_size = catalog;
+  c.num_segments = 99;
+  c.total_requests_per_hour = 2000.0;
+  c.warmup_hours = smoke ? 0.5 : 2.0;
+  c.measured_hours = smoke ? 4.0 : 20.0;
+  c.seed = 20010416;
+  return c;
+}
+
+bool identical(const MultiVideoResult& a, const MultiVideoResult& b) {
+  return a.avg_streams == b.avg_streams && a.max_streams == b.max_streams &&
+         a.avg_kbs == b.avg_kbs && a.max_kbs == b.max_kbs &&
+         a.requests == b.requests && a.measured_slots == b.measured_slots &&
+         a.per_video_avg == b.per_video_avg &&
+         a.per_video_requests == b.per_video_requests;
+}
+
+Measurement run_point(int catalog, int threads, bool smoke) {
+  MultiVideoConfig c = scale_config(catalog, smoke);
+  c.num_threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  Measurement m;
+  m.result = run_multi_video_simulation(c);
+  const auto end = std::chrono::steady_clock::now();
+  m.catalog = catalog;
+  m.threads = threads;
+  m.seconds = std::chrono::duration<double>(end - start).count();
+  const double total_slots =
+      static_cast<double>(m.result.measured_slots) +
+      std::ceil(c.warmup_hours * 3600.0 / c.slot_duration_s);
+  m.slots_per_sec = total_slots * static_cast<double>(catalog) /
+                    (m.seconds > 0.0 ? m.seconds : 1e-9);
+  return m;
+}
+
+void write_json(const std::string& path,
+                const std::vector<Measurement>& points, bool all_identical) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"multi_video_scale\",\n");
+  std::fprintf(f, "  \"bit_identical_across_threads\": %s,\n",
+               all_identical ? "true" : "false");
+  std::fprintf(f, "  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Measurement& m = points[i];
+    std::fprintf(f,
+                 "    {\"catalog\": %d, \"threads\": %d, "
+                 "\"seconds\": %.6f, \"slots_per_sec\": %.1f, "
+                 "\"speedup\": %.3f, \"avg_streams\": %.6f, "
+                 "\"max_streams\": %.1f, \"requests\": %llu}%s\n",
+                 m.catalog, m.threads, m.seconds, m.slots_per_sec, m.speedup,
+                 m.result.avg_streams, m.result.max_streams,
+                 static_cast<unsigned long long>(m.result.requests),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vod;
+
+  bool smoke = false;
+  std::string json_path = "BENCH_multi_video.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  const std::vector<int> catalogs =
+      smoke ? std::vector<int>{100} : std::vector<int>{100, 1000, 10000};
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+
+  std::printf("== Sharded multi-video engine scaling%s ==\n",
+              smoke ? " (smoke)" : "");
+  std::printf(
+      "Zipf(0.729) catalog, 2000 req/h aggregate, DHB per video;\n"
+      "slots/sec = video-slot advances per wall second; speedup vs the\n"
+      "1-thread run; results must be bit-identical at every thread "
+      "count.\n\n");
+
+  std::vector<Measurement> points;
+  bool all_identical = true;
+  Table table({"catalog", "threads", "seconds", "slots/sec", "speedup",
+               "identical"});
+  for (int catalog : catalogs) {
+    Measurement baseline;
+    for (int threads : thread_counts) {
+      Measurement m = run_point(catalog, threads, smoke);
+      if (threads == 1) {
+        baseline = m;
+      } else {
+        m.speedup = baseline.seconds / (m.seconds > 0.0 ? m.seconds : 1e-9);
+      }
+      const bool same =
+          threads == 1 || identical(baseline.result, m.result);
+      all_identical = all_identical && same;
+      table.add_row({std::to_string(catalog), std::to_string(threads),
+                     format_double(m.seconds, 3),
+                     format_double(m.slots_per_sec, 0),
+                     format_double(m.speedup, 2), same ? "yes" : "NO"});
+      points.push_back(m);
+    }
+  }
+  table.print();
+  write_json(json_path, points, all_identical);
+
+  if (!all_identical) {
+    std::printf("FAILURE: results differ across thread counts\n");
+    return 1;
+  }
+  return 0;
+}

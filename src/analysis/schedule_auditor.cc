@@ -180,22 +180,26 @@ void ScheduleAuditor::check_counters(const DhbScheduler& d,
   const uint64_t fresh = d.total_new_instances();
   const uint64_t shared = d.total_shared();
   const uint64_t probes = d.total_slot_probes();
+  const uint64_t rejected = d.total_rejected_admissions();
   if (requests < last_requests_ || fresh < last_new_ || shared < last_shared_ ||
-      probes < last_probes_) {
+      probes < last_probes_ || rejected < last_rejected_) {
     std::ostringstream msg;
     msg << "a lifetime counter decreased (requests " << last_requests_
         << "->" << requests << ", new " << last_new_ << "->" << fresh
         << ", shared " << last_shared_ << "->" << shared << ", probes "
-        << last_probes_ << "->" << probes << ")";
+        << last_probes_ << "->" << probes << ", rejected " << last_rejected_
+        << "->" << rejected << ")";
     add_violation(report, AuditViolationKind::kCounterRegression, 0, 0,
                   msg.str());
   }
   // Probe conservation: every admitted segment examined at least one slot,
-  // so probes can never undercount the admitted segment demand.
-  if (probes < fresh + shared) {
+  // and every rejected bounded admission probed at least segment 1's
+  // window before refusing, so probes can never undercount the admitted
+  // segment demand plus the rejected attempts.
+  if (probes < fresh + shared + rejected) {
     std::ostringstream msg;
-    msg << "slot probes (" << probes << ") below admitted segment demand ("
-        << fresh + shared << ")";
+    msg << "slot probes (" << probes << ") below admitted segment demand + "
+        << "rejected attempts (" << fresh + shared + rejected << ")";
     add_violation(report, AuditViolationKind::kCounterRegression, 0, 0,
                   msg.str());
   }
@@ -203,6 +207,7 @@ void ScheduleAuditor::check_counters(const DhbScheduler& d,
   last_new_ = fresh;
   last_shared_ = shared;
   last_probes_ = probes;
+  last_rejected_ = rejected;
 
   if (attached_) {
     // Every new instance is transmitted exactly once: instances created

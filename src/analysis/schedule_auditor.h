@@ -22,8 +22,9 @@
 //                    the per-segment index, and total_scheduled() all agree;
 //   * clock        — the slot clock never moves backwards, and advances by
 //                    exactly one per observed advance_slot();
-//   * conservation — lifetime counters only grow, shared+new instances add
-//                    up to the admitted segment demand, and (once attached)
+//   * conservation — lifetime counters (incl. rejected bounded admissions)
+//                    only grow, slot probes cover the admitted segment
+//                    demand plus every rejected attempt, and (once attached)
 //                    every new instance is transmitted exactly once:
 //                    new_instances == transmitted so far + still scheduled;
 //   * metering     — a BandwidthMeter fed one add_slot per advance agrees
@@ -159,6 +160,7 @@ class ScheduleAuditor {
   uint64_t last_new_ = 0;
   uint64_t last_shared_ = 0;
   uint64_t last_probes_ = 0;
+  uint64_t last_rejected_ = 0;
 
   // Conservation baseline (attach()).
   bool attached_ = false;

@@ -218,7 +218,14 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
           chosen = s;
         }
       }
-      if (chosen == 0) return std::nullopt;  // would exceed the cap
+      if (chosen == 0) {
+        // Would exceed the cap: count the attempt, so the probes charged
+        // above stay attributable (probes per attempt = probes /
+        // (admitted + rejected)) instead of silently skewing the
+        // per-admission cost metric.
+        ++total_rejected_admissions_;
+        return std::nullopt;
+      }
       ++added[static_cast<size_t>(chosen - lo)];
       placements.push_back({j, chosen});
       ++result.new_instances;

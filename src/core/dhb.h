@@ -108,10 +108,17 @@ class DhbScheduler {
   bool had_clamped_admissions() const { return had_clamped_admissions_; }
 
   // Lifetime counters (for the scheduling-cost analysis of §3).
+  // total_requests() counts admissions only; a bounded admission that was
+  // refused shows up in total_rejected_admissions() instead, so the §3
+  // probes-per-attempt metric is
+  // total_slot_probes() / (total_requests() + total_rejected_admissions()).
   uint64_t total_requests() const { return total_requests_; }
   uint64_t total_new_instances() const { return total_new_instances_; }
   uint64_t total_shared() const { return total_shared_; }
   uint64_t total_slot_probes() const { return total_slot_probes_; }
+  uint64_t total_rejected_admissions() const {
+    return total_rejected_admissions_;
+  }
 
  private:
   // Slot choice restricted to slots where the client still has reception
@@ -132,6 +139,7 @@ class DhbScheduler {
   uint64_t total_new_instances_ = 0;
   uint64_t total_shared_ = 0;
   uint64_t total_slot_probes_ = 0;
+  uint64_t total_rejected_admissions_ = 0;
   bool had_clamped_admissions_ = false;
 };
 

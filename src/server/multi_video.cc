@@ -8,120 +8,225 @@
 #include "sim/arrival_process.h"
 #include "sim/stats.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace vod {
+namespace {
+
+// Videos per shard. Fixed — never derived from the thread count — so the
+// shard decomposition, and with it the floating-point order of the merge,
+// is identical at every `num_threads`: that is what makes the result
+// bit-identical whether the shards run inline or on 8 workers.
+constexpr int kShardSize = 64;
+
+// Everything a shard kernel needs, shared read-only across workers.
+struct CatalogPlan {
+  const MultiVideoConfig* config;
+  std::vector<int> segments;     // per rank, length in slots
+  std::vector<double> rate_kbs;  // per rank, stream rate
+  std::vector<bool> is_static;   // per rank, always-on NPB vs DHB
+  uint64_t warmup_slots = 0;
+  uint64_t total_slots = 0;
+  double rate_per_s = 0.0;  // aggregate arrival rate, requests/second
+};
+
+// What one shard reports back: per-measured-slot totals over its ranks
+// (the aggregate max needs the full slot series, not scalars) plus the
+// per-video tallies for the slice it owns.
+struct ShardResult {
+  std::vector<int> slot_streams;
+  std::vector<double> slot_kbs;
+  std::vector<double> video_stream_sum;  // per video of the slice
+  std::vector<uint64_t> video_requests;
+};
+
+// Simulates ranks [first_rank, last_rank) against the shared plan. Each
+// video is an independent thinned Poisson stream (rate λ·p_v) drawn from
+// its own substream rng.fork(rank + 1), so shards never contend on RNG
+// state and the outcome does not depend on which worker runs the shard.
+void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
+                    int first_rank, int last_rank, ShardResult* out) {
+  const MultiVideoConfig& config = *plan.config;
+  const double d = config.slot_duration_s;
+  const uint64_t measured =
+      plan.total_slots - plan.warmup_slots;  // >= 0 by construction
+  out->slot_streams.assign(static_cast<size_t>(measured), 0);
+  out->slot_kbs.assign(static_cast<size_t>(measured), 0.0);
+  out->video_stream_sum.assign(static_cast<size_t>(last_rank - first_rank),
+                               0.0);
+  out->video_requests.assign(static_cast<size_t>(last_rank - first_rank), 0);
+
+  const Rng base(config.seed);
+  for (int v = first_rank; v < last_rank; ++v) {
+    const size_t idx = static_cast<size_t>(v);
+    const size_t local = static_cast<size_t>(v - first_rank);
+    const double rate = plan.rate_kbs[idx];
+
+    std::unique_ptr<DhbScheduler> scheduler;
+    int fixed_streams = 0;
+    if (plan.is_static[idx]) {
+      fixed_streams = NpbMapping::streams_for(plan.segments[idx]);
+    } else {
+      DhbConfig dhb;
+      dhb.num_segments = plan.segments[idx];
+      scheduler = std::make_unique<DhbScheduler>(dhb);
+    }
+
+    PoissonProcess arrivals(
+        plan.rate_per_s * zipf.probability(v),
+        base.fork(static_cast<uint64_t>(v) + 1));
+    double next_arrival = arrivals.next();
+
+    for (uint64_t step = 1; step <= plan.total_slots; ++step) {
+      int streams;
+      if (!scheduler) {
+        streams = fixed_streams;  // always on, demand or not
+      } else if (scheduler->schedule().total_scheduled() == 0) {
+        // Idle early-out: advancing an empty schedule transmits nothing
+        // and leaves the (relative) schedule state empty, so skip the
+        // ring rotation — and the VOD_AUDIT deep audit — entirely. Deep
+        // in a Zipf tail this is the common case.
+        streams = 0;
+      } else {
+        streams = static_cast<int>(scheduler->advance_slot().size());
+      }
+
+      if (step > plan.warmup_slots) {
+        const size_t slot = static_cast<size_t>(step - plan.warmup_slots - 1);
+        out->slot_streams[slot] += streams;
+        out->slot_kbs[slot] += streams * rate;
+        out->video_stream_sum[local] += streams;
+      }
+
+      const double slot_end = static_cast<double>(step) * d;
+      while (next_arrival < slot_end) {
+        if (scheduler) scheduler->on_request();
+        if (step > plan.warmup_slots) ++out->video_requests[local];
+        next_arrival = arrivals.next();
+      }
+    }
+  }
+}
+
+}  // namespace
 
 MultiVideoResult run_multi_video_simulation(const MultiVideoConfig& config) {
   VOD_CHECK(config.catalog_size >= 1);
+  VOD_CHECK_MSG(config.num_segments >= 1, "need at least one segment");
   VOD_CHECK(config.slot_duration_s > 0.0);
+  VOD_CHECK_MSG(config.zipf_exponent >= 0.0,
+                "Zipf exponent must be non-negative");
+  VOD_CHECK_MSG(config.total_requests_per_hour > 0.0,
+                "aggregate request rate must be positive");
+  VOD_CHECK(config.warmup_hours >= 0.0);
+  VOD_CHECK(config.measured_hours >= 0.0);
+  VOD_CHECK_MSG(config.num_threads >= 0, "num_threads: 0 = auto, n >= 1");
 
   const int V = config.catalog_size;
   const double d = config.slot_duration_s;
-  const uint64_t warmup_slots =
+
+  CatalogPlan plan;
+  plan.config = &config;
+  plan.warmup_slots =
       static_cast<uint64_t>(std::ceil(config.warmup_hours * 3600.0 / d));
-  const uint64_t total_slots =
-      warmup_slots +
+  plan.total_slots =
+      plan.warmup_slots +
       static_cast<uint64_t>(std::ceil(config.measured_hours * 3600.0 / d));
+  plan.rate_per_s = per_hour(config.total_requests_per_hour);
 
   // Per-video shapes: homogeneous defaults unless overridden.
-  std::vector<int> segments(static_cast<size_t>(V), config.num_segments);
-  std::vector<double> rate_kbs(static_cast<size_t>(V), 1.0);
+  plan.segments.assign(static_cast<size_t>(V), config.num_segments);
+  plan.rate_kbs.assign(static_cast<size_t>(V), 1.0);
   if (!config.per_video_segments.empty()) {
     VOD_CHECK(static_cast<int>(config.per_video_segments.size()) == V);
-    segments = config.per_video_segments;
+    plan.segments = config.per_video_segments;
+    for (int n : plan.segments) {
+      VOD_CHECK_MSG(n >= 1, "per-video segment counts must be >= 1");
+    }
   }
   if (!config.per_video_rate_kbs.empty()) {
     VOD_CHECK(static_cast<int>(config.per_video_rate_kbs.size()) == V);
-    rate_kbs = config.per_video_rate_kbs;
+    plan.rate_kbs = config.per_video_rate_kbs;
   }
 
-  // Which videos run a dynamic scheduler vs an always-on broadcast.
-  auto is_static = [&](int rank) {
+  // Which videos run a dynamic scheduler vs an always-on broadcast. A
+  // hybrid top larger than the catalog degenerates to all-static.
+  VOD_CHECK_MSG(config.hybrid_static_top >= 0,
+                "hybrid_static_top must be >= 0");
+  const int static_top = std::min(config.hybrid_static_top, V);
+  plan.is_static.assign(static_cast<size_t>(V), false);
+  for (int v = 0; v < V; ++v) {
     switch (config.policy) {
       case VideoPolicy::kDhb:
-        return false;
+        break;
       case VideoPolicy::kStatic:
-        return true;
+        plan.is_static[static_cast<size_t>(v)] = true;
+        break;
       case VideoPolicy::kHybrid:
-        return rank < config.hybrid_static_top;
-    }
-    return false;
-  };
-
-  std::vector<std::unique_ptr<DhbScheduler>> schedulers(
-      static_cast<size_t>(V));
-  std::vector<int> static_streams(static_cast<size_t>(V), 0);
-  for (int v = 0; v < V; ++v) {
-    if (is_static(v)) {
-      static_streams[static_cast<size_t>(v)] =
-          NpbMapping::streams_for(segments[static_cast<size_t>(v)]);
-    } else {
-      DhbConfig dhb;
-      dhb.num_segments = segments[static_cast<size_t>(v)];
-      schedulers[static_cast<size_t>(v)] =
-          std::make_unique<DhbScheduler>(dhb);
+        plan.is_static[static_cast<size_t>(v)] = v < static_top;
+        break;
     }
   }
 
-  Rng rng(config.seed);
   const ZipfDistribution zipf(V, config.zipf_exponent);
-  PoissonProcess arrivals(per_hour(config.total_requests_per_hour),
-                          rng.fork(1));
-  Rng routing = rng.fork(2);
 
+  const int num_shards = (V + kShardSize - 1) / kShardSize;
+  std::vector<ShardResult> shards(static_cast<size_t>(num_shards));
+  auto run_shard = [&](int s) {
+    const int first = s * kShardSize;
+    const int last = std::min(V, first + kShardSize);
+    simulate_shard(plan, zipf, first, last,
+                   &shards[static_cast<size_t>(s)]);
+  };
+
+  const int threads =
+      std::min(resolve_num_threads(config.num_threads), num_shards);
+  if (threads <= 1) {
+    for (int s = 0; s < num_shards; ++s) run_shard(s);
+  } else {
+    ThreadPool pool(threads);
+    pool.parallel_for(num_shards, run_shard);
+  }
+
+  // Deterministic merge: shard slot-series are aligned (every shard spans
+  // the same measured slots), so summing them in shard order rebuilds the
+  // aggregate per-slot totals exactly as a sequential pass would.
+  const uint64_t measured = plan.total_slots - plan.warmup_slots;
   MultiVideoResult result;
+  result.measured_slots = measured;
   result.per_video_avg.assign(static_cast<size_t>(V), 0.0);
   result.per_video_requests.assign(static_cast<size_t>(V), 0);
 
-  RunningStats aggregate;
-  RunningStats aggregate_kbs;
-  std::vector<double> per_video_sum(static_cast<size_t>(V), 0.0);
-  uint64_t measured_slots = 0;
-  double next_arrival = arrivals.next();
-
-  for (uint64_t step = 1; step <= total_slots; ++step) {
-    const bool measuring = step > warmup_slots;
-    int total = 0;
-    double total_kbs = 0.0;
-    for (int v = 0; v < V; ++v) {
-      const size_t idx = static_cast<size_t>(v);
-      int streams;
-      if (is_static(v)) {
-        streams = static_streams[idx];  // always on, demand or not
-      } else {
-        streams = static_cast<int>(schedulers[idx]->advance_slot().size());
-      }
-      total += streams;
-      total_kbs += streams * rate_kbs[idx];
-      if (measuring) per_video_sum[idx] += streams;
+  std::vector<int> total_streams(static_cast<size_t>(measured), 0);
+  std::vector<double> total_kbs(static_cast<size_t>(measured), 0.0);
+  for (int s = 0; s < num_shards; ++s) {
+    const ShardResult& shard = shards[static_cast<size_t>(s)];
+    for (size_t i = 0; i < total_streams.size(); ++i) {
+      total_streams[i] += shard.slot_streams[i];
+      total_kbs[i] += shard.slot_kbs[i];
     }
-    if (measuring) {
-      aggregate.add(total);
-      aggregate_kbs.add(total_kbs);
-      ++measured_slots;
-    }
-
-    const double slot_end = static_cast<double>(step) * d;
-    while (next_arrival < slot_end) {
-      const int v = zipf.sample(routing);
-      if (!is_static(v)) schedulers[static_cast<size_t>(v)]->on_request();
-      if (measuring) {
-        ++result.requests;
-        ++result.per_video_requests[static_cast<size_t>(v)];
+    const int first = s * kShardSize;
+    for (size_t local = 0; local < shard.video_requests.size(); ++local) {
+      const size_t idx = static_cast<size_t>(first) + local;
+      result.per_video_requests[idx] = shard.video_requests[local];
+      result.requests += shard.video_requests[local];
+      if (measured > 0) {
+        result.per_video_avg[idx] =
+            shard.video_stream_sum[local] / static_cast<double>(measured);
       }
-      next_arrival = arrivals.next();
     }
   }
 
+  RunningStats aggregate;
+  RunningStats aggregate_kbs;
+  for (size_t i = 0; i < total_streams.size(); ++i) {
+    aggregate.add(total_streams[i]);
+    aggregate_kbs.add(total_kbs[i]);
+  }
   result.avg_streams = aggregate.mean();
   result.max_streams = aggregate.max();
   result.avg_kbs = aggregate_kbs.mean();
   result.max_kbs = aggregate_kbs.max();
-  for (int v = 0; v < V; ++v) {
-    result.per_video_avg[static_cast<size_t>(v)] =
-        per_video_sum[static_cast<size_t>(v)] /
-        static_cast<double>(measured_slots);
-  }
   return result;
 }
 

@@ -17,6 +17,16 @@
 // Zipf popularity distribution. The server reports aggregate and
 // per-video bandwidth; with a shared channel pool the aggregate maximum
 // is what the operator must provision.
+//
+// Execution model. Poisson thinning makes the per-video request streams
+// *independent* Poisson processes of rate λ·p_v, so the catalog shards
+// cleanly: the engine cuts the ranks into fixed-size contiguous shards,
+// simulates each shard's videos on a worker pool (each video drawing its
+// arrivals from its own RNG substream, rng.fork(rank + 1)), and merges the
+// per-shard per-slot stream totals in shard order. Because the shard
+// decomposition and the merge order never depend on the thread count, the
+// result is bit-identical for a given seed at any `num_threads`
+// (DESIGN.md §8 has the full argument).
 #pragma once
 
 #include <cstdint>
@@ -52,6 +62,12 @@ struct MultiVideoConfig {
   std::vector<int> per_video_segments;
   std::vector<double> per_video_rate_kbs;
 
+  // Worker threads for the sharded engine: 1 runs every shard inline on
+  // the calling thread (the sequential path), n >= 2 uses a ThreadPool of
+  // n workers, 0 means auto (one per hardware thread). The result is
+  // bit-identical across all values for a fixed seed.
+  int num_threads = 1;
+
   uint64_t seed = 42;
 };
 
@@ -61,6 +77,7 @@ struct MultiVideoResult {
   double avg_kbs = 0.0;            // aggregate in KB/s (rate-weighted)
   double max_kbs = 0.0;
   uint64_t requests = 0;
+  uint64_t measured_slots = 0;     // slots contributing to the averages
   std::vector<double> per_video_avg;      // streams, one entry per rank
   std::vector<uint64_t> per_video_requests;
 };

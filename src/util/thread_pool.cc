@@ -1,0 +1,88 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace vod {
+
+int resolve_num_threads(int requested) {
+  VOD_CHECK_MSG(requested >= 0, "thread count must be >= 0 (0 = auto)");
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  VOD_CHECK(num_threads >= 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    VOD_CHECK_MSG(!stopping_, "submit on a stopping ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::parallel_for(int num_tasks,
+                              const std::function<void(int)>& fn) {
+  if (num_tasks <= 0) return;
+  // One queue entry per index; fn is borrowed by reference, which is safe
+  // because this function does not return before every task has finished.
+  std::mutex done_mutex;
+  std::condition_variable done;
+  int remaining = num_tasks;
+  for (int i = 0; i < num_tasks; ++i) {
+    submit([&fn, &done_mutex, &done, &remaining, i] {
+      fn(i);
+      std::unique_lock<std::mutex> lock(done_mutex);
+      if (--remaining == 0) done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done.wait(lock, [&remaining] { return remaining == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace vod

@@ -1,0 +1,69 @@
+// A small reusable fixed-size worker pool.
+//
+// The simulation engines shard their work into independent tasks (the
+// multi-video server shards its catalog; see server/multi_video.cc) and
+// need nothing fancier than "run these N closures on K threads and wait".
+// ThreadPool provides exactly that: submit() enqueues a task, wait_idle()
+// blocks until the queue drains, and parallel_for() is the fork-join
+// convenience the engines use. Threads are started once in the constructor
+// and joined in the destructor, so a pool can be reused across many
+// parallel_for() rounds without re-spawning.
+//
+// Determinism contract: the pool guarantees only completion, never
+// ordering. Callers that must be deterministic (everything in this
+// library) give each task its own disjoint output slot and do any
+// order-sensitive reduction sequentially after parallel_for() returns.
+//
+// Tasks must not throw (the library reports failure through VOD_CHECK,
+// which aborts) and must not submit to the pool they run on.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vod {
+
+// Resolves a user-facing thread-count knob: n >= 1 means exactly n
+// threads; 0 means auto (one per hardware thread, at least 1).
+int resolve_num_threads(int requested);
+
+class ThreadPool {
+ public:
+  // Starts `num_threads` (>= 1) workers immediately.
+  explicit ThreadPool(int num_threads);
+  // Blocks until every submitted task has run, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues one task for execution on some worker.
+  void submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and no task is running.
+  void wait_idle();
+
+  // Runs fn(0), ..., fn(num_tasks - 1) across the pool and blocks until
+  // all calls have returned. Indices are claimed dynamically, so long and
+  // short tasks balance; no two calls run fn on the same index.
+  void parallel_for(int num_tasks, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vod

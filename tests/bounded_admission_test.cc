@@ -2,6 +2,7 @@
 // budget, with deferred (FIFO) requests.
 #include <gtest/gtest.h>
 
+#include "analysis/schedule_auditor.h"
 #include "core/dhb.h"
 #include "core/dhb_simulator.h"
 #include "protocols/npb.h"
@@ -60,6 +61,53 @@ TEST(BoundedAdmission, CountsOwnTentativePlacements) {
   ASSERT_TRUE(r.has_value());
   for (Segment j = 1; j <= 10; ++j) {
     EXPECT_EQ(r->plan.reception_slot[static_cast<size_t>(j - 1)], 1 + j);
+  }
+}
+
+TEST(BoundedAdmission, RejectionCountsTheAttemptNotARequest) {
+  // Same scenario as RefusesWithoutMutation. A refused admission used to
+  // charge its slot probes to the lifetime counters without recording the
+  // attempt anywhere, skewing the §3 probes-per-request metric; it now
+  // lands in total_rejected_admissions() while total_requests() stays an
+  // admissions-only count.
+  DhbScheduler s(small_config(4));
+  s.advance_slot();
+  ASSERT_TRUE(s.on_request_bounded(1).has_value());
+  EXPECT_EQ(s.total_rejected_admissions(), 0u);
+  EXPECT_EQ(s.total_requests(), 1u);
+  s.advance_slot();
+  const uint64_t probes_before = s.total_slot_probes();
+  EXPECT_FALSE(s.on_request_bounded(1).has_value());
+  EXPECT_EQ(s.total_rejected_admissions(), 1u);
+  EXPECT_EQ(s.total_requests(), 1u);       // unchanged by the rejection
+  EXPECT_GT(s.total_slot_probes(), probes_before);  // probes still charged
+  // ... and the probes stay attributable to the attempts that spent them.
+  EXPECT_GE(s.total_slot_probes(),
+            s.total_new_instances() + s.total_shared() +
+                s.total_rejected_admissions());
+}
+
+TEST(BoundedAdmission, AuditorCoversRejectionCounter) {
+  DhbScheduler s(small_config(4));
+  ScheduleAuditor auditor;
+  s.advance_slot();
+  EXPECT_TRUE(auditor.audit(s).ok());
+  ASSERT_TRUE(s.on_request_bounded(1).has_value());
+  s.advance_slot();
+  EXPECT_FALSE(s.on_request_bounded(1).has_value());
+  // The auditor's conservation pass must accept a rejection-bearing
+  // history (counters monotone, probes >= admitted demand + rejections).
+  EXPECT_TRUE(auditor.audit(s).ok());
+}
+
+TEST(BoundedAdmission, RejectionCounterAccumulates) {
+  DhbScheduler s(small_config(4));
+  s.advance_slot();
+  ASSERT_TRUE(s.on_request_bounded(1).has_value());
+  s.advance_slot();
+  for (uint64_t i = 1; i <= 3; ++i) {
+    EXPECT_FALSE(s.on_request_bounded(1).has_value());
+    EXPECT_EQ(s.total_rejected_admissions(), i);
   }
 }
 

@@ -1,0 +1,106 @@
+// Determinism of the sharded multi-video engine: for a fixed seed, the
+// MultiVideoResult must be bit-identical at every thread count — the shard
+// decomposition and merge order are fixed, so the worker pool only changes
+// wall-clock, never a single bit of output.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "server/multi_video.h"
+
+namespace vod {
+namespace {
+
+void expect_bit_identical(const MultiVideoResult& a,
+                          const MultiVideoResult& b) {
+  // Exact equality on purpose (EXPECT_DOUBLE_EQ would allow 4 ULPs).
+  EXPECT_EQ(a.avg_streams, b.avg_streams);
+  EXPECT_EQ(a.max_streams, b.max_streams);
+  EXPECT_EQ(a.avg_kbs, b.avg_kbs);
+  EXPECT_EQ(a.max_kbs, b.max_kbs);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.measured_slots, b.measured_slots);
+  EXPECT_EQ(a.per_video_avg, b.per_video_avg);
+  EXPECT_EQ(a.per_video_requests, b.per_video_requests);
+}
+
+MultiVideoConfig base_config(int catalog, VideoPolicy policy) {
+  MultiVideoConfig c;
+  c.catalog_size = catalog;
+  c.num_segments = 49;
+  c.total_requests_per_hour = 400.0;
+  c.warmup_hours = 1.0;
+  c.measured_hours = 10.0;
+  c.policy = policy;
+  return c;
+}
+
+TEST(MultiVideoParallel, BitIdenticalAcrossThreadCounts) {
+  // 130 videos = 3 shards, so 2 and 8 threads genuinely interleave work.
+  MultiVideoConfig c = base_config(130, VideoPolicy::kDhb);
+  c.num_threads = 1;
+  const MultiVideoResult sequential = run_multi_video_simulation(c);
+  for (int threads : {2, 8}) {
+    c.num_threads = threads;
+    const MultiVideoResult parallel = run_multi_video_simulation(c);
+    SCOPED_TRACE(threads);
+    expect_bit_identical(sequential, parallel);
+  }
+}
+
+TEST(MultiVideoParallel, AutoThreadsMatchesSequential) {
+  MultiVideoConfig c = base_config(100, VideoPolicy::kHybrid);
+  c.hybrid_static_top = 5;
+  c.num_threads = 1;
+  const MultiVideoResult sequential = run_multi_video_simulation(c);
+  c.num_threads = 0;  // auto
+  const MultiVideoResult automatic = run_multi_video_simulation(c);
+  expect_bit_identical(sequential, automatic);
+}
+
+TEST(MultiVideoParallel, HeterogeneousCatalogSequentialVsSharded) {
+  // Regression pin: per-video shapes (lengths and rates) ride along with
+  // the shard, so a heterogeneous catalog must agree across thread counts
+  // exactly like a homogeneous one.
+  MultiVideoConfig c = base_config(6, VideoPolicy::kDhb);
+  c.per_video_segments = {99, 49, 149, 25, 70, 40};
+  c.per_video_rate_kbs = {600.0, 800.0, 500.0, 700.0, 650.0, 550.0};
+  c.num_threads = 1;
+  const MultiVideoResult sequential = run_multi_video_simulation(c);
+  c.num_threads = 4;
+  const MultiVideoResult sharded = run_multi_video_simulation(c);
+  expect_bit_identical(sequential, sharded);
+  EXPECT_GT(sequential.avg_kbs, 0.0);
+}
+
+TEST(MultiVideoParallel, SingleShardCatalogUnaffectedByThreads) {
+  // Fewer videos than one shard: the pool has one task; still identical.
+  MultiVideoConfig c = base_config(10, VideoPolicy::kDhb);
+  c.num_threads = 1;
+  const MultiVideoResult sequential = run_multi_video_simulation(c);
+  c.num_threads = 8;
+  const MultiVideoResult parallel = run_multi_video_simulation(c);
+  expect_bit_identical(sequential, parallel);
+}
+
+TEST(MultiVideoParallel, RepeatedParallelRunsAgree) {
+  // Same seed, same thread count, run twice: the pool must not leak any
+  // scheduling nondeterminism into the result.
+  MultiVideoConfig c = base_config(130, VideoPolicy::kDhb);
+  c.num_threads = 4;
+  const MultiVideoResult a = run_multi_video_simulation(c);
+  const MultiVideoResult b = run_multi_video_simulation(c);
+  expect_bit_identical(a, b);
+}
+
+TEST(MultiVideoParallel, SeedStillMatters) {
+  MultiVideoConfig c = base_config(100, VideoPolicy::kDhb);
+  c.num_threads = 4;
+  const MultiVideoResult a = run_multi_video_simulation(c);
+  c.seed = 43;
+  const MultiVideoResult b = run_multi_video_simulation(c);
+  EXPECT_NE(a.requests, b.requests);
+}
+
+}  // namespace
+}  // namespace vod

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
 
 #include "protocols/npb.h"
@@ -125,6 +126,69 @@ TEST(MultiVideoDeath, MismatchedOverrideSizes) {
   MultiVideoConfig c = quick(VideoPolicy::kDhb, 100.0);
   c.per_video_segments = {99, 99};  // catalog_size is 10
   EXPECT_DEATH(run_multi_video_simulation(c), "");
+}
+
+TEST(MultiVideo, ZeroMeasuredSlotsYieldsFiniteZeros) {
+  // A config whose measured window rounds to zero slots used to divide the
+  // per-video sums by zero (NaN in per_video_avg while avg_streams was 0).
+  MultiVideoConfig c = quick(VideoPolicy::kDhb, 100.0);
+  c.warmup_hours = 1.0;
+  c.measured_hours = 0.0;
+  const MultiVideoResult r = run_multi_video_simulation(c);
+  EXPECT_EQ(r.measured_slots, 0u);
+  EXPECT_EQ(r.requests, 0u);
+  EXPECT_DOUBLE_EQ(r.avg_streams, 0.0);
+  EXPECT_DOUBLE_EQ(r.max_streams, 0.0);
+  for (double v : r.per_video_avg) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(MultiVideoDeath, InvalidConfigsFailFast) {
+  {
+    MultiVideoConfig c = quick(VideoPolicy::kDhb, 100.0);
+    c.num_segments = 0;
+    EXPECT_DEATH(run_multi_video_simulation(c), "at least one segment");
+  }
+  {
+    MultiVideoConfig c = quick(VideoPolicy::kDhb, 100.0);
+    c.zipf_exponent = -0.1;
+    EXPECT_DEATH(run_multi_video_simulation(c), "Zipf exponent");
+  }
+  {
+    // A zero rate used to hand PoissonProcess a degenerate rate instead of
+    // failing at the config boundary.
+    MultiVideoConfig c = quick(VideoPolicy::kDhb, 0.0);
+    EXPECT_DEATH(run_multi_video_simulation(c), "request rate");
+  }
+  {
+    MultiVideoConfig c = quick(VideoPolicy::kHybrid, 100.0);
+    c.hybrid_static_top = -1;
+    EXPECT_DEATH(run_multi_video_simulation(c), "hybrid_static_top");
+  }
+  {
+    MultiVideoConfig c = quick(VideoPolicy::kDhb, 100.0);
+    c.num_threads = -2;
+    EXPECT_DEATH(run_multi_video_simulation(c), "num_threads");
+  }
+  {
+    MultiVideoConfig c = quick(VideoPolicy::kDhb, 100.0);
+    c.per_video_segments = {99, 99, 99, 99, 99, 99, 99, 99, 99, 0};
+    EXPECT_DEATH(run_multi_video_simulation(c), "segment counts");
+  }
+}
+
+TEST(MultiVideo, HybridTopClampsToCatalogSize) {
+  // A hybrid top beyond the catalog degenerates to the all-static policy
+  // instead of misbehaving.
+  MultiVideoConfig c = quick(VideoPolicy::kHybrid, 100.0);
+  c.hybrid_static_top = 50;  // catalog_size is 10
+  const MultiVideoResult clamped = run_multi_video_simulation(c);
+  const MultiVideoResult all_static =
+      run_multi_video_simulation(quick(VideoPolicy::kStatic, 100.0));
+  EXPECT_DOUBLE_EQ(clamped.avg_streams, all_static.avg_streams);
+  EXPECT_DOUBLE_EQ(clamped.max_streams, all_static.max_streams);
 }
 
 TEST(MultiVideo, DeterministicForSeed) {

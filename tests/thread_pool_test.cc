@@ -1,0 +1,107 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace vod {
+namespace {
+
+TEST(ResolveNumThreads, ExplicitCountPassesThrough) {
+  EXPECT_EQ(resolve_num_threads(1), 1);
+  EXPECT_EQ(resolve_num_threads(7), 7);
+}
+
+TEST(ResolveNumThreads, ZeroMeansAutoAndAtLeastOne) {
+  EXPECT_GE(resolve_num_threads(0), 1);
+}
+
+TEST(ResolveNumThreadsDeath, NegativeRejected) {
+  EXPECT_DEATH(resolve_num_threads(-1), "thread count");
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsTheQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+    // No wait_idle: joining must still run everything already queued.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  pool.parallel_for(257, [&hits](int i) { ++hits[static_cast<size_t>(i)]; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForWithFewerTasksThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> sum{0};
+  pool.parallel_for(3, [&sum](int i) { sum += i; });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2);
+}
+
+TEST(ThreadPool, ParallelForZeroTasksIsANoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](int) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ReusableAcrossRounds) {
+  // The engines reuse one pool for many fork-join rounds; each round must
+  // see all of its own tasks complete before the next starts.
+  ThreadPool pool(3);
+  std::vector<int> results(64, 0);
+  for (int round = 1; round <= 4; ++round) {
+    pool.parallel_for(64, [&results, round](int i) {
+      results[static_cast<size_t>(i)] = round * (i + 1);
+    });
+    const long expected = static_cast<long>(round) * (64 * 65 / 2);
+    EXPECT_EQ(std::accumulate(results.begin(), results.end(), 0L), expected)
+        << "round " << round;
+  }
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.parallel_for(20, [&counter](int) { ++counter; });
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, DisjointSlotWritesNeedNoLocking) {
+  // The determinism contract: each task owns one output slot, reduction
+  // happens after the join. TSan builds verify the absence of races.
+  ThreadPool pool(4);
+  std::vector<double> out(500, 0.0);
+  pool.parallel_for(500, [&out](int i) {
+    out[static_cast<size_t>(i)] = static_cast<double>(i) * 0.5;
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace vod
