@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Regression guard for the admission-throughput benchmark.
+
+Compares a fresh BENCH_admission.json against the committed baseline and
+fails (exit 1) when the fast admission path regressed. Two metrics, two
+thresholds:
+
+* work_ratio (naive work-units-per-request / fast work-units-per-request),
+  guarded tightly (default 20% max drop). Both sides are deterministic
+  counters over a fixed-length trace, so the ratio is bit-reproducible on
+  every machine: it moves if and only if the algorithm itself changed
+  (e.g. the placement index or same-slot coalescing stopped engaging).
+  Any drop beyond the threshold is a real regression, never runner noise.
+
+* speedup (fast wall-clock requests/sec / naive requests/sec of the same
+  binary on the same machine), guarded loosely (default 50% max drop).
+  The ratio cancels absolute machine speed but still jitters on shared CI
+  runners; the loose bound catches gross constant-factor regressions
+  (e.g. an accidentally quadratic index update) without flaking.
+
+Only points present in BOTH files (matched on (segments, arrivals_per_slot))
+are compared, so a smoke run's subset checks cleanly against the committed
+full-grid baseline.
+
+Usage:
+  scripts/bench_compare.py BASELINE CURRENT
+                           [--max-drop 0.20] [--max-drop-speedup 0.50]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_points(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("benchmark") != "admission_throughput":
+        sys.exit(f"{path}: not an admission_throughput record")
+    points = {}
+    for p in doc.get("points", []):
+        key = (int(p["segments"]), float(p["arrivals_per_slot"]))
+        points[key] = p
+    if not points:
+        sys.exit(f"{path}: no benchmark points")
+    return doc, points
+
+
+def compare_metric(name, base, cur, shared, max_drop):
+    failures = []
+    print(f"metric {name}: max tolerated drop {max_drop:.0%}")
+    for key in shared:
+        if name not in base[key] or name not in cur[key]:
+            print(f"  segments={key[0]:>5} rate={key[1]:>6.2f}  (missing)")
+            continue
+        want = float(base[key][name])
+        got = float(cur[key][name])
+        drop = 0.0 if want <= 0 else (want - got) / want
+        status = "ok"
+        if drop > max_drop:
+            status = "REGRESSION"
+            failures.append(key)
+        print(f"  segments={key[0]:>5} rate={key[1]:>6.2f}  "
+              f"baseline={want:10.3f}  current={got:10.3f}  "
+              f"drop={drop:+7.1%}  {status}")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed BENCH_admission.json")
+    ap.add_argument("current", help="freshly produced BENCH_admission.json")
+    ap.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.20,
+        help="max fractional drop of the deterministic work_ratio (0.20)",
+    )
+    ap.add_argument(
+        "--max-drop-speedup",
+        type=float,
+        default=0.50,
+        help="max fractional drop of the wall-clock speedup (0.50)",
+    )
+    args = ap.parse_args()
+
+    base_doc, base = load_points(args.baseline)
+    cur_doc, cur = load_points(args.current)
+
+    if not cur_doc.get("bit_identical_fast_vs_naive", True):
+        sys.exit("current run: fast vs naive modes diverged")
+    for key, p in cur.items():
+        if not p.get("identical", True):
+            sys.exit(f"current run: modes diverged at {key}")
+
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        sys.exit("no common (segments, arrivals_per_slot) points to compare")
+    print(f"comparing {len(shared)} common point(s)")
+
+    failures = compare_metric("work_ratio", base, cur, shared, args.max_drop)
+    failures += compare_metric("speedup", base, cur, shared,
+                               args.max_drop_speedup)
+
+    if failures:
+        print(f"FAIL: {len(failures)} regressed point(s): {failures}")
+        return 1
+    print("PASS: no regression beyond thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

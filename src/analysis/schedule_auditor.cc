@@ -54,6 +54,8 @@ std::string to_string(AuditViolationKind kind) {
       return "instance-leak";
     case AuditViolationKind::kMeterMismatch:
       return "meter-mismatch";
+    case AuditViolationKind::kPlacementIndexMismatch:
+      return "placement-index-mismatch";
   }
   return "?";
 }
@@ -88,6 +90,15 @@ AuditReport ScheduleAuditor::audit_schedule(const SlotSchedule& s) const {
     if (slots.empty() != !s.has_future_instance(j)) {
       add_violation(&report, AuditViolationKind::kContentsMismatch, j, 0,
                     "has_future_instance disagrees with instances_of");
+    }
+    const Slot cached_latest = s.latest_instance(j);
+    const Slot true_latest = slots.empty() ? 0 : slots.back();
+    if (cached_latest != true_latest) {
+      std::ostringstream msg;
+      msg << "latest-instance cache says " << cached_latest
+          << ", per-segment index says " << true_latest;
+      add_violation(&report, AuditViolationKind::kPlacementIndexMismatch, j,
+                    cached_latest, msg.str());
     }
     if (!options_.allow_multiple_instances && slots.size() > 1) {
       std::ostringstream msg;
@@ -159,6 +170,44 @@ AuditReport ScheduleAuditor::audit_schedule(const SlotSchedule& s) const {
     add_violation(&report, AuditViolationKind::kTotalMismatch, 0, 0,
                   msg.str());
   }
+
+  // Range-min placement index vs the naive Figure 6 scans, for every
+  // admission window (now, hi] the scheduler can issue (admissions always
+  // start at now+1). The naive answers grow incrementally with hi: "min
+  // load, ties latest" adopts a new slot on load <= min, "ties earliest"
+  // only on load < min. Skipped while a transient overlay is live — the
+  // index then intentionally diverges from the raw load counters.
+  if (!s.has_load_overlay()) {
+    Slot best_latest = 0;
+    Slot best_earliest = 0;
+    int best_latest_load = 0;
+    int best_earliest_load = 0;
+    for (Slot hi = now + 1; hi <= horizon; ++hi) {
+      const int load = s.load(hi);
+      if (best_latest == 0 || load <= best_latest_load) {
+        best_latest = hi;
+        best_latest_load = load;
+      }
+      if (best_earliest == 0 || load < best_earliest_load) {
+        best_earliest = hi;
+        best_earliest_load = load;
+      }
+      const SlotSchedule::MinLoad latest = s.min_load_latest(now + 1, hi);
+      const SlotSchedule::MinLoad earliest = s.min_load_earliest(now + 1, hi);
+      if (latest.slot != best_latest || latest.load != best_latest_load ||
+          earliest.slot != best_earliest ||
+          earliest.load != best_earliest_load) {
+        std::ostringstream msg;
+        msg << "window (" << now << ", " << hi << "]: index says latest "
+            << latest.slot << "@" << latest.load << " / earliest "
+            << earliest.slot << "@" << earliest.load << ", naive scan says "
+            << best_latest << "@" << best_latest_load << " / "
+            << best_earliest << "@" << best_earliest_load;
+        add_violation(&report, AuditViolationKind::kPlacementIndexMismatch, 0,
+                      hi, msg.str());
+      }
+    }
+  }
   return report;
 }
 
@@ -181,14 +230,18 @@ void ScheduleAuditor::check_counters(const DhbScheduler& d,
   const uint64_t shared = d.total_shared();
   const uint64_t probes = d.total_slot_probes();
   const uint64_t rejected = d.total_rejected_admissions();
+  const uint64_t work = d.total_work_units();
+  const uint64_t coalesced = d.total_coalesced_requests();
   if (requests < last_requests_ || fresh < last_new_ || shared < last_shared_ ||
-      probes < last_probes_ || rejected < last_rejected_) {
+      probes < last_probes_ || rejected < last_rejected_ ||
+      work < last_work_units_ || coalesced < last_coalesced_) {
     std::ostringstream msg;
     msg << "a lifetime counter decreased (requests " << last_requests_
         << "->" << requests << ", new " << last_new_ << "->" << fresh
         << ", shared " << last_shared_ << "->" << shared << ", probes "
         << last_probes_ << "->" << probes << ", rejected " << last_rejected_
-        << "->" << rejected << ")";
+        << "->" << rejected << ", work " << last_work_units_ << "->" << work
+        << ", coalesced " << last_coalesced_ << "->" << coalesced << ")";
     add_violation(report, AuditViolationKind::kCounterRegression, 0, 0,
                   msg.str());
   }
@@ -203,11 +256,35 @@ void ScheduleAuditor::check_counters(const DhbScheduler& d,
     add_violation(report, AuditViolationKind::kCounterRegression, 0, 0,
                   msg.str());
   }
+  // Work-unit conservation (see the pricing table in core/dhb.cc): every
+  // admitted request makes at least one sharing check or memo copy, every
+  // placed instance costs a query plus a commit, and every rejection pays
+  // its failed query — in both index and naive mode.
+  if (work < requests + 2 * fresh + rejected) {
+    std::ostringstream msg;
+    msg << "work units (" << work << ") below requests + 2*new + rejected ("
+        << requests + 2 * fresh + rejected << ")";
+    add_violation(report, AuditViolationKind::kCounterRegression, 0, 0,
+                  msg.str());
+  }
+  // Coalesced followers are a subset of the requests, and each shared a
+  // full plan's worth of segments.
+  if (coalesced > requests ||
+      shared < coalesced * static_cast<uint64_t>(d.num_segments())) {
+    std::ostringstream msg;
+    msg << "coalesced followers (" << coalesced
+        << ") inconsistent with requests (" << requests << ") / shared ("
+        << shared << ")";
+    add_violation(report, AuditViolationKind::kCounterRegression, 0, 0,
+                  msg.str());
+  }
   last_requests_ = requests;
   last_new_ = fresh;
   last_shared_ = shared;
   last_probes_ = probes;
   last_rejected_ = rejected;
+  last_work_units_ = work;
+  last_coalesced_ = coalesced;
 
   if (attached_) {
     // Every new instance is transmitted exactly once: instances created

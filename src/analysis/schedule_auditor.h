@@ -20,11 +20,21 @@
 //                    never moves or cancels an instance);
 //   * load         — the per-slot load counters, the per-slot content ring,
 //                    the per-segment index, and total_scheduled() all agree;
+//   * placement    — the O(log W) placement fast path answers exactly like
+//                    the naive scans it replaces: the latest-instance cache
+//                    equals the back of every per-segment list, and the
+//                    range-min index reproduces the linear min-load scan
+//                    (both tie-break directions) for every admission window
+//                    (now, hi]. Skipped while a transient load overlay is
+//                    live (the index legitimately diverges from raw loads);
 //   * clock        — the slot clock never moves backwards, and advances by
 //                    exactly one per observed advance_slot();
-//   * conservation — lifetime counters (incl. rejected bounded admissions)
-//                    only grow, slot probes cover the admitted segment
-//                    demand plus every rejected attempt, and (once attached)
+//   * conservation — lifetime counters (incl. rejected bounded admissions
+//                    and work units) only grow, slot probes cover the
+//                    admitted segment demand plus every rejected attempt,
+//                    work units cover every request, placement, and
+//                    rejection (work >= requests + 2·new + rejected, by the
+//                    pricing in core/dhb.cc), and (once attached)
 //                    every new instance is transmitted exactly once:
 //                    new_instances == transmitted so far + still scheduled;
 //   * metering     — a BandwidthMeter fed one add_slot per advance agrees
@@ -66,6 +76,7 @@ enum class AuditViolationKind {
   kCounterRegression,        // a lifetime counter decreased or disagrees
   kInstanceLeak,             // new instances != transmitted + scheduled
   kMeterMismatch,            // BandwidthMeter disagrees with observed slots
+  kPlacementIndexMismatch,   // fast placement path != naive scan answer
 };
 
 // Stable name for a violation kind ("duplicate-future-instance", ...).
@@ -161,6 +172,8 @@ class ScheduleAuditor {
   uint64_t last_shared_ = 0;
   uint64_t last_probes_ = 0;
   uint64_t last_rejected_ = 0;
+  uint64_t last_work_units_ = 0;
+  uint64_t last_coalesced_ = 0;
 
   // Conservation baseline (attach()).
   bool attached_ = false;

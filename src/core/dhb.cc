@@ -1,6 +1,7 @@
 #include "core/dhb.h"
 
 #include <algorithm>
+#include <numeric>
 
 #ifdef VOD_AUDIT
 #include "analysis/schedule_auditor.h"
@@ -9,6 +10,27 @@
 
 namespace vod {
 namespace {
+
+// Work-unit prices (total_work_units()). A sharing check costs one unit in
+// both modes (the latest-instance cache answers it, and the per-segment
+// fallback lists are O(1) amortized). A placement attempt costs its query
+// plus, when an instance is actually placed, one commit unit:
+//   index mode: query = 1 (range-min lookup), commit = 1  -> 2 per instance
+//   naive mode: query = window width,         commit = 1
+// Rejected bounded attempts pay their queries but no commit. The pricing
+// guarantees the auditor's conservation law
+//   work_units >= requests + 2 * new_instances + rejected
+// on every path in both modes (each admitted request makes >= 1 sharing
+// check; each placement costs >= 2; each rejection pays >= 1 query).
+constexpr uint64_t kWorkShareProbe = 1;
+constexpr uint64_t kWorkIndexQuery = 1;
+constexpr uint64_t kWorkCommit = 1;
+constexpr uint64_t kWorkMemoCopy = 1;
+
+// Overlay delta that marks a slot client-saturated in capped mode: any
+// real load is far below it, so a min query returning >= the mask means
+// "no slot with remaining client capacity in the range".
+constexpr int kClientSaturatedMask = 1 << 28;
 
 // Resolves the period vector: empty config means the CBR base protocol
 // T[j] = j (the window of the paper's Figure 6).
@@ -36,6 +58,11 @@ DhbScheduler::DhbScheduler(const DhbConfig& config)
     : config_(config),
       periods_(resolve_periods(config)),
       window_(*std::max_element(periods_.begin(), periods_.end())),
+      sum_periods_(std::accumulate(periods_.begin(), periods_.end(),
+                                   uint64_t{0},
+                                   [](uint64_t acc, int t) {
+                                     return acc + static_cast<uint64_t>(t);
+                                   })),
       schedule_(config.num_segments, window_),
       rng_(config.heuristic_seed) {
   VOD_CHECK(config.client_stream_cap >= 0);
@@ -63,7 +90,47 @@ std::optional<Slot> DhbScheduler::choose_capped_slot(
 }
 
 DhbRequestResult DhbScheduler::on_request() {
+  if (config_.coalesce_same_slot && config_.client_stream_cap == 0) {
+    if (memo_valid_) {
+      // Follower: the leader (or an earlier follower) already forced every
+      // segment into the window, so this request shares all of them — the
+      // plan is the leader's, no heuristic runs, no rng is consumed, and
+      // the counters advance exactly as a sequential re-admission's would.
+      ++total_requests_;
+      total_shared_ += static_cast<uint64_t>(config_.num_segments);
+      total_slot_probes_ += sum_periods_;
+      total_work_units_ += kWorkMemoCopy;
+      ++total_coalesced_;
+      return memo_result_;
+    }
+    DhbRequestResult result = admit(1, config_.num_segments);
+    // Cache the *follower* view: same plan, everything shared.
+    memo_result_ = result;
+    memo_result_.new_instances = 0;
+    memo_result_.shared_instances = config_.num_segments;
+    memo_valid_ = true;
+    return result;
+  }
   return admit(1, config_.num_segments);
+}
+
+DhbRequestResult DhbScheduler::on_request_batch(uint64_t count) {
+  VOD_CHECK_MSG(count >= 1, "on_request_batch needs at least one request");
+  DhbRequestResult result = on_request();
+  if (count == 1) return result;
+  if (config_.coalesce_same_slot && config_.client_stream_cap == 0) {
+    // All count-1 followers are identical; advance the counters in bulk.
+    const uint64_t followers = count - 1;
+    total_requests_ += followers;
+    total_shared_ +=
+        followers * static_cast<uint64_t>(config_.num_segments);
+    total_slot_probes_ += followers * sum_periods_;
+    total_work_units_ += followers * kWorkMemoCopy;
+    total_coalesced_ += followers;
+    return memo_result_;
+  }
+  for (uint64_t i = 1; i < count; ++i) result = on_request();
+  return result;
 }
 
 DhbRequestResult DhbScheduler::on_resume(Segment first_segment) {
@@ -91,9 +158,13 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
   VOD_CHECK(first_segment >= 1 && first_segment <= config_.num_segments);
   VOD_CHECK(last_segment >= first_segment &&
             last_segment <= config_.num_segments);
+  // Any admission through here may place instances under windows that
+  // differ from a full request's, so the same-slot memo goes stale.
+  memo_valid_ = false;
   const Slot arrival = schedule_.now();
   const int n = last_segment;
   const int cap = config_.client_stream_cap;
+  const bool fast = config_.use_placement_index;
   if (first_segment != 1) had_clamped_admissions_ = true;
 
   DhbRequestResult result;
@@ -102,9 +173,8 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
       static_cast<size_t>(n - first_segment + 1));
 
   // Client reception load per window slot (capped mode only); index k is
-  // slot arrival + 1 + k.
-  std::vector<int> client_load;
-  if (cap > 0) client_load.assign(static_cast<size_t>(window_), 0);
+  // slot arrival + 1 + k. Member scratch: assign() reuses the capacity.
+  if (cap > 0) client_load_.assign(static_cast<size_t>(window_), 0);
 
   for (Segment j = first_segment; j <= n; ++j) {
     const Slot lo = arrival + 1;
@@ -118,45 +188,70 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
             : std::min(periods_[static_cast<size_t>(j - 1)],
                        static_cast<int>(j - first_segment + 1));
     const Slot hi = arrival + period;
-    total_slot_probes_ += static_cast<uint64_t>(hi - lo + 1);
+    const uint64_t width = static_cast<uint64_t>(hi - lo + 1);
+    total_slot_probes_ += width;
 
     Slot chosen = 0;
     bool is_new = false;
 
     if (cap == 0) {
+      // find_instance answers in O(1) off the latest-instance cache here:
+      // lo is now+1, so the window is the whole scheduling future.
+      total_work_units_ += kWorkShareProbe;
       if (std::optional<Slot> shared = schedule_.find_instance(j, lo, hi)) {
         chosen = *shared;
       } else {
-        chosen = choose_slot(config_.heuristic, schedule_, lo, hi, &rng_);
+        chosen = choose_slot(config_.heuristic, schedule_, lo, hi, &rng_,
+                             fast);
         is_new = true;
+        total_work_units_ += (fast ? kWorkIndexQuery : width) + kWorkCommit;
       }
     } else {
       // Prefer sharing an instance in a slot with remaining client capacity
       // (latest such instance: least buffering, most future sharing).
+      total_work_units_ += kWorkShareProbe;
       const std::vector<Slot>& existing = schedule_.instances_of(j);
       for (auto it = existing.rbegin(); it != existing.rend(); ++it) {
         if (*it < lo || *it > hi) continue;
-        if (client_load[static_cast<size_t>(*it - lo)] < cap) {
+        if (client_load_[static_cast<size_t>(*it - lo)] < cap) {
           chosen = *it;
           break;
         }
       }
       if (chosen == 0) {
-        if (std::optional<Slot> fresh =
-                choose_capped_slot(lo, hi, client_load, arrival)) {
+        // Min-load-latest restricted to client-unsaturated slots. In index
+        // mode the saturated slots carry a +kClientSaturatedMask overlay,
+        // so one range-min query answers the restricted rule: a minimum
+        // >= the mask means every slot in the window is saturated.
+        std::optional<Slot> fresh;
+        if (fast) {
+          total_work_units_ += kWorkIndexQuery;
+          const SlotSchedule::MinLoad m = schedule_.min_load_latest(lo, hi);
+          if (m.load < kClientSaturatedMask) fresh = m.slot;
+        } else {
+          total_work_units_ += width;
+          fresh = choose_capped_slot(lo, hi, client_load_, arrival);
+        }
+        if (fresh) {
           chosen = *fresh;
           is_new = true;
+          total_work_units_ += kWorkCommit;
         } else {
           // The cap cannot be honoured anywhere in the window. Fall back to
           // the uncapped rule and record the violation: the plan stays
           // deadline-correct but the STB needs > cap streams for one slot.
+          // The fallback must see raw loads, so it always runs the naive
+          // scans (the placement index carries the saturation overlay).
           ++result.cap_violations;
-          if (std::optional<Slot> shared = schedule_.find_instance(j, lo, hi)) {
+          total_work_units_ += kWorkShareProbe;
+          if (std::optional<Slot> shared =
+                  schedule_.find_instance(j, lo, hi)) {
             chosen = *shared;
           } else {
             chosen = choose_slot(SlotHeuristic::kMinLoadLatest, schedule_, lo,
-                                 hi, &rng_);
+                                 hi, &rng_, /*use_index=*/false);
             is_new = true;
+            total_work_units_ += width + kWorkCommit;
           }
         }
       }
@@ -168,10 +263,21 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
     } else {
       ++result.shared_instances;
     }
-    if (cap > 0) ++client_load[static_cast<size_t>(chosen - lo)];
+    if (cap > 0) {
+      const size_t k = static_cast<size_t>(chosen - lo);
+      ++client_load_[k];
+      // Exact transition to the cap (increments are by one, so every
+      // saturation passes through it): mask the slot out of further
+      // placement queries for this admission.
+      if (fast && client_load_[k] == cap) {
+        schedule_.add_load_overlay(chosen, kClientSaturatedMask);
+      }
+    }
     result.plan.reception_slot[static_cast<size_t>(j - first_segment)] =
         chosen;
   }
+
+  if (cap > 0 && fast) schedule_.clear_load_overlay();
 
   ++total_requests_;
   total_new_instances_ += static_cast<uint64_t>(result.new_instances);
@@ -184,14 +290,20 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
   VOD_CHECK(channel_cap >= 1);
   VOD_CHECK_MSG(config_.client_stream_cap == 0,
                 "bounded admission assumes unlimited client bandwidth");
+  // A successful bounded admission places instances the memoized plan does
+  // not know about; a rejected one leaves the schedule untouched, but
+  // invalidating unconditionally keeps the memo logic trivially safe.
+  memo_valid_ = false;
   const Slot arrival = schedule_.now();
   const int n = config_.num_segments;
+  const bool fast = config_.use_placement_index;
 
   // Tentative additions per window slot; nothing touches the schedule
-  // until every segment has found a home.
-  std::vector<int> added(static_cast<size_t>(window_), 0);
-  std::vector<std::pair<Segment, Slot>> placements;
-  placements.reserve(static_cast<size_t>(n));
+  // until every segment has found a home. Index mode records the tentative
+  // placements as +1 overlay deltas so the range-min query prices them in;
+  // naive mode keeps the explicit per-slot array. Member scratch only.
+  if (!fast) bounded_added_.assign(static_cast<size_t>(window_), 0);
+  placements_.clear();
 
   DhbRequestResult result;
   result.plan.arrival_slot = arrival;
@@ -200,22 +312,31 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
   for (Segment j = 1; j <= n; ++j) {
     const Slot lo = arrival + 1;
     const Slot hi = arrival + periods_[static_cast<size_t>(j - 1)];
-    total_slot_probes_ += static_cast<uint64_t>(hi - lo + 1);
+    const uint64_t width = static_cast<uint64_t>(hi - lo + 1);
+    total_slot_probes_ += width;
 
     Slot chosen = 0;
+    total_work_units_ += kWorkShareProbe;
     if (std::optional<Slot> shared = schedule_.find_instance(j, lo, hi)) {
       chosen = *shared;
       ++result.shared_instances;
     } else {
       // Min-load-latest over slots still under the channel cap, counting
       // this request's own tentative placements.
-      int best_load = channel_cap;
-      for (Slot s = hi; s >= lo; --s) {
-        const int load =
-            schedule_.load(s) + added[static_cast<size_t>(s - lo)];
-        if (load < best_load) {
-          best_load = load;
-          chosen = s;
+      if (fast) {
+        total_work_units_ += kWorkIndexQuery;
+        const SlotSchedule::MinLoad m = schedule_.min_load_latest(lo, hi);
+        if (m.load < channel_cap) chosen = m.slot;
+      } else {
+        total_work_units_ += width;
+        int best_load = channel_cap;
+        for (Slot s = hi; s >= lo; --s) {
+          const int load =
+              schedule_.load(s) + bounded_added_[static_cast<size_t>(s - lo)];
+          if (load < best_load) {
+            best_load = load;
+            chosen = s;
+          }
         }
       }
       if (chosen == 0) {
@@ -223,17 +344,26 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
         // above stay attributable (probes per attempt = probes /
         // (admitted + rejected)) instead of silently skewing the
         // per-admission cost metric.
+        if (fast) schedule_.clear_load_overlay();
         ++total_rejected_admissions_;
         return std::nullopt;
       }
-      ++added[static_cast<size_t>(chosen - lo)];
-      placements.push_back({j, chosen});
+      if (fast) {
+        schedule_.add_load_overlay(chosen, 1);
+      } else {
+        ++bounded_added_[static_cast<size_t>(chosen - lo)];
+      }
+      placements_.push_back({j, chosen});
       ++result.new_instances;
+      total_work_units_ += kWorkCommit;
     }
     result.plan.reception_slot[static_cast<size_t>(j - 1)] = chosen;
   }
 
-  for (const auto& [segment, slot] : placements) {
+  // Commit: drop the tentative overlay first so add_instance's real +1s
+  // are not double-counted by the index.
+  if (fast) schedule_.clear_load_overlay();
+  for (const auto& [segment, slot] : placements_) {
     schedule_.add_instance(segment, slot);
   }
   ++total_requests_;
@@ -243,6 +373,7 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
 }
 
 std::vector<Segment> DhbScheduler::advance_slot() {
+  memo_valid_ = false;  // plans are per-arrival-slot; the clock moved
   std::vector<Segment> out = schedule_.advance();
 #ifdef VOD_AUDIT
   // Self-checking builds (cmake -DVOD_AUDIT=ON): deep-audit the schedule

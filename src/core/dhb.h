@@ -14,14 +14,23 @@
 // slot heuristic. advance_slot() moves to the next slot and reports what
 // the server transmits during it.
 //
-// Complexity. State is O(n + window); a request costs O(sum_j T[j]) slot
-// probes when the system is idle and O(n) probe-only work at saturation
-// (everything already scheduled) — the cost profile §3 of the paper argues
-// for.
+// Complexity. State is O(n + window). *Logical* cost is unchanged from the
+// paper: a request examines O(sum_j T[j]) window slots (total_slot_probes()
+// keeps charging exactly that, for comparability across experiments). The
+// *actual* cost rides the schedule's placement fast path: each sharing
+// check is O(1) via the latest-instance cache and each fresh placement is
+// O(log window) via the range-min index, so an admission runs in
+// O(n log window) instead of O(n·window) = O(n²) — and requests coalesced
+// into the same slot cost O(1) each (see DhbConfig::coalesce_same_slot).
+// total_work_units() meters the actual data-structure operations. Every
+// fast path is bit-identical to the naive Figure 6 scans (the differential
+// fuzzer compares them decision by decision); set
+// DhbConfig::use_placement_index = false to run the naive scans instead.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/heuristics.h"
@@ -46,6 +55,16 @@ struct DhbConfig {
   int client_stream_cap = 0;
   // Seed for the kRandom heuristic only.
   uint64_t heuristic_seed = 1;
+  // Answer min-load placements through the O(log W) range-min index (true)
+  // or the literal O(W) Figure 6 scan (false). Same decisions either way;
+  // the naive mode exists as the differential-testing oracle.
+  bool use_placement_index = true;
+  // Memoize the current-slot full-request plan: under uncapped DHB every
+  // further full request arriving in the same slot shares every segment and
+  // receives the identical plan (a direct consequence of the §3 sharing
+  // invariant), so followers are answered in O(1) without touching the
+  // schedule. Bit-identical results and counters either way.
+  bool coalesce_same_slot = true;
 };
 
 struct DhbRequestResult {
@@ -61,6 +80,14 @@ class DhbScheduler {
 
   // Admits a request arriving during the current slot.
   DhbRequestResult on_request();
+
+  // Admits `count` requests arriving during the current slot; equivalent to
+  // calling on_request() `count` times (bit-identical schedule, plans, and
+  // counters) and returns the last request's result. With coalescing
+  // enabled the count-1 followers cost O(1) *total* counter arithmetic —
+  // the batch entry point run_multi_video_simulation uses for same-slot
+  // Poisson arrivals. Requires count >= 1.
+  DhbRequestResult on_request_batch(uint64_t count);
 
   // Admits a VCR resume/seek: a client that wants to watch segments
   // first..n starting next slot (it watches S_j during slot
@@ -120,6 +147,19 @@ class DhbScheduler {
     return total_rejected_admissions_;
   }
 
+  // Actual data-structure operations performed, as opposed to the logical
+  // slot probes above: 1 per sharing check, plus a placement-attempt charge
+  // of query + commit (index mode: 1 + 1; naive mode: window-width + 1,
+  // the commit charged only when an instance is placed), plus 1 per
+  // coalesced follower (the memo copy). ScheduleAuditor asserts the
+  // conservation law
+  //   work_units >= requests + 2 * new_instances + rejected.
+  uint64_t total_work_units() const { return total_work_units_; }
+
+  // Requests answered from the same-slot plan memo without touching the
+  // schedule (always 0 when coalesce_same_slot is off).
+  uint64_t total_coalesced_requests() const { return total_coalesced_; }
+
  private:
   // Slot choice restricted to slots where the client still has reception
   // capacity; nullopt when no slot in [lo, hi] qualifies.
@@ -133,6 +173,7 @@ class DhbScheduler {
   DhbConfig config_;
   std::vector<int> periods_;  // resolved T[], index j-1
   int window_;                // max_j T[j]
+  uint64_t sum_periods_;      // sum_j T[j]: the probe charge of one request
   SlotSchedule schedule_;
   Rng rng_;
   uint64_t total_requests_ = 0;
@@ -140,7 +181,21 @@ class DhbScheduler {
   uint64_t total_shared_ = 0;
   uint64_t total_slot_probes_ = 0;
   uint64_t total_rejected_admissions_ = 0;
+  uint64_t total_work_units_ = 0;
+  uint64_t total_coalesced_ = 0;
   bool had_clamped_admissions_ = false;
+
+  // Same-slot coalescing memo: once a full request has been admitted in the
+  // current slot, every further full request this slot gets `memo_result_`
+  // (the follower view: all segments shared). Invalidated by the clock and
+  // by any admission that may mutate the schedule under different windows.
+  bool memo_valid_ = false;
+  DhbRequestResult memo_result_;
+
+  // Reusable per-admission scratch (avoids per-request heap churn).
+  std::vector<int> client_load_;                    // capped mode
+  std::vector<int> bounded_added_;                  // bounded naive mode
+  std::vector<std::pair<Segment, Slot>> placements_;  // bounded tentatives
 };
 
 }  // namespace vod

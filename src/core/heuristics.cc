@@ -21,7 +21,7 @@ std::string to_string(SlotHeuristic h) {
 }
 
 Slot choose_slot(SlotHeuristic h, const SlotSchedule& schedule, Slot lo,
-                 Slot hi, Rng* rng) {
+                 Slot hi, Rng* rng, bool use_index) {
   VOD_CHECK(lo <= hi);
   switch (h) {
     case SlotHeuristic::kLatest:
@@ -36,6 +36,7 @@ Slot choose_slot(SlotHeuristic h, const SlotSchedule& schedule, Slot lo,
     case SlotHeuristic::kMinLoadLatest: {
       // "let m_min := min {m_k | lo <= k <= hi};
       //  let k_max := max {k | m_k = m_min}" — Figure 6.
+      if (use_index) return schedule.min_load_latest(lo, hi).slot;
       Slot best = hi;
       int best_load = schedule.load(hi);
       for (Slot s = hi - 1; s >= lo; --s) {
@@ -48,6 +49,7 @@ Slot choose_slot(SlotHeuristic h, const SlotSchedule& schedule, Slot lo,
       return best;
     }
     case SlotHeuristic::kMinLoadEarliest: {
+      if (use_index) return schedule.min_load_earliest(lo, hi).slot;
       Slot best = lo;
       int best_load = schedule.load(lo);
       for (Slot s = lo + 1; s <= hi; ++s) {

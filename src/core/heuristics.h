@@ -31,7 +31,13 @@ std::string to_string(SlotHeuristic h);
 
 // Picks a slot in [lo, hi] according to the heuristic. `rng` is only
 // consulted by kRandom and may be null for the deterministic rules.
+//
+// The min-load rules answer through the schedule's O(log window) range-min
+// placement index by default; `use_index = false` forces the literal O(W)
+// Figure 6 scan instead. Both return the same slot for every input — the
+// naive scan is kept as the differential oracle (and for callers that must
+// ignore a live load overlay, which only the index sees).
 Slot choose_slot(SlotHeuristic h, const SlotSchedule& schedule, Slot lo,
-                 Slot hi, Rng* rng);
+                 Slot hi, Rng* rng, bool use_index = true);
 
 }  // namespace vod

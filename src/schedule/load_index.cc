@@ -1,0 +1,86 @@
+#include "schedule/load_index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace vod {
+
+LoadIndex::LoadIndex(size_t ring_size) : ring_size_(ring_size) {
+  VOD_CHECK(ring_size >= 1);
+  leaves_ = 1;
+  while (leaves_ < ring_size_) leaves_ <<= 1;
+  tree_.assign(2 * leaves_, 0);
+  // Padding leaves (positions past the ring) must never win a min query.
+  for (size_t p = ring_size_; p < leaves_; ++p) {
+    tree_[leaves_ + p] = kInfiniteLoad;
+  }
+  for (size_t node = leaves_ - 1; node >= 1; --node) {
+    tree_[node] = std::min(tree_[2 * node], tree_[2 * node + 1]);
+  }
+}
+
+void LoadIndex::add(size_t pos, int delta) {
+  VOD_DCHECK(pos < ring_size_);
+  size_t node = leaves_ + pos;
+  tree_[node] += delta;
+  for (node >>= 1; node >= 1; node >>= 1) {
+    tree_[node] = std::min(tree_[2 * node], tree_[2 * node + 1]);
+  }
+}
+
+int LoadIndex::value(size_t pos) const {
+  VOD_DCHECK(pos < ring_size_);
+  return tree_[leaves_ + pos];
+}
+
+int LoadIndex::min_in(size_t a, size_t b) const {
+  int m = kInfiniteLoad;
+  size_t l = leaves_ + a;
+  size_t r = leaves_ + b + 1;
+  while (l < r) {
+    if ((l & 1) != 0) m = std::min(m, tree_[l++]);
+    if ((r & 1) != 0) m = std::min(m, tree_[--r]);
+    l >>= 1;
+    r >>= 1;
+  }
+  return m;
+}
+
+size_t LoadIndex::rightmost_min(size_t node, size_t node_lo, size_t node_hi,
+                                size_t a, size_t b, int m) const {
+  if (b < node_lo || node_hi < a || tree_[node] > m) return ring_size_;
+  if (node_lo == node_hi) return node_lo;
+  const size_t mid = node_lo + (node_hi - node_lo) / 2;
+  const size_t right = rightmost_min(2 * node + 1, mid + 1, node_hi, a, b, m);
+  if (right != ring_size_) return right;
+  return rightmost_min(2 * node, node_lo, mid, a, b, m);
+}
+
+size_t LoadIndex::leftmost_min(size_t node, size_t node_lo, size_t node_hi,
+                               size_t a, size_t b, int m) const {
+  if (b < node_lo || node_hi < a || tree_[node] > m) return ring_size_;
+  if (node_lo == node_hi) return node_lo;
+  const size_t mid = node_lo + (node_hi - node_lo) / 2;
+  const size_t left = leftmost_min(2 * node, node_lo, mid, a, b, m);
+  if (left != ring_size_) return left;
+  return leftmost_min(2 * node + 1, mid + 1, node_hi, a, b, m);
+}
+
+LoadIndex::MinResult LoadIndex::min_latest(size_t a, size_t b) const {
+  VOD_DCHECK(a <= b && b < ring_size_);
+  const int m = min_in(a, b);
+  const size_t pos = rightmost_min(1, 0, leaves_ - 1, a, b, m);
+  VOD_DCHECK(pos < ring_size_);
+  return MinResult{m, pos};
+}
+
+LoadIndex::MinResult LoadIndex::min_earliest(size_t a, size_t b) const {
+  VOD_DCHECK(a <= b && b < ring_size_);
+  const int m = min_in(a, b);
+  const size_t pos = leftmost_min(1, 0, leaves_ - 1, a, b, m);
+  VOD_DCHECK(pos < ring_size_);
+  return MinResult{m, pos};
+}
+
+}  // namespace vod

@@ -1,0 +1,68 @@
+// Range-min placement index over the slot ring.
+//
+// LoadIndex is the fast-path data structure behind SlotSchedule's
+// min-load placement queries: a segment tree over the per-slot load
+// counters of the scheduling ring, answering "which slot in [a, b] has
+// the minimum load, ties broken toward the latest (or earliest)
+// position" in O(log W) instead of the naive O(W) window scan of the
+// paper's Figure 6 — without changing a single scheduling decision
+// (the tie-break rules reproduce the linear scans bit for bit; the
+// differential fuzzer in tests/fuzz_schedule_audit.cc is the oracle).
+//
+// The index speaks *ring positions*, not slots: SlotSchedule maps a slot
+// window (lo, hi] onto at most two contiguous position ranges (the ring
+// wraps at most once because every window is narrower than the ring) and
+// composes the per-range results. Values are plain ints so callers can
+// superimpose transient deltas — the tentative placements of a bounded
+// admission, or the "client-saturated slot" masks of the capped variant —
+// directly on the tree and rip them back out afterwards.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vod {
+
+class LoadIndex {
+ public:
+  // Sentinel for "no position": also the value padding leaves hold so the
+  // power-of-two tree never lets them win a min query.
+  static constexpr int kInfiniteLoad = 2147483647;  // INT_MAX
+
+  explicit LoadIndex(size_t ring_size);
+
+  size_t ring_size() const { return ring_size_; }
+
+  // Adds `delta` to the value at ring position `pos` (pos < ring_size).
+  void add(size_t pos, int delta);
+
+  // Current value at ring position `pos`.
+  int value(size_t pos) const;
+
+  struct MinResult {
+    int load = kInfiniteLoad;
+    size_t pos = 0;
+  };
+
+  // Minimum value over the contiguous position range [a, b]
+  // (a <= b < ring_size), with the argmin tie broken toward the highest
+  // position (min_latest) or the lowest (min_earliest). O(log ring_size).
+  MinResult min_latest(size_t a, size_t b) const;
+  MinResult min_earliest(size_t a, size_t b) const;
+
+ private:
+  int min_in(size_t a, size_t b) const;
+  // Rightmost / leftmost position in [a, b] whose value equals m, searched
+  // within the subtree `node` covering positions [node_lo, node_hi].
+  // Returns ring_size_ ("none") when the subtree holds no such position.
+  size_t rightmost_min(size_t node, size_t node_lo, size_t node_hi, size_t a,
+                       size_t b, int m) const;
+  size_t leftmost_min(size_t node, size_t node_lo, size_t node_hi, size_t a,
+                      size_t b, int m) const;
+
+  size_t ring_size_;
+  size_t leaves_;          // smallest power of two >= ring_size_
+  std::vector<int> tree_;  // 1-based heap layout; leaf p at leaves_ + p
+};
+
+}  // namespace vod

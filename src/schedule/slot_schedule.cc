@@ -11,7 +11,9 @@ SlotSchedule::SlotSchedule(int num_segments, int window)
       window_(window),
       loads_(static_cast<size_t>(window) + 1, 0),
       contents_(static_cast<size_t>(window) + 1),
-      per_segment_(static_cast<size_t>(num_segments) + 1) {
+      per_segment_(static_cast<size_t>(num_segments) + 1),
+      latest_(static_cast<size_t>(num_segments) + 1, 0),
+      index_(static_cast<size_t>(window) + 1) {
   VOD_CHECK(num_segments >= 1);
   VOD_CHECK(window >= 1);
 }
@@ -28,6 +30,11 @@ int SlotSchedule::load(Slot s) const {
 std::optional<Slot> SlotSchedule::find_instance(Segment j, Slot lo,
                                                 Slot hi) const {
   VOD_DCHECK(j >= 1 && j <= num_segments_);
+  // Fast path: the latest future instance answers for the whole window
+  // (now, hi] because every live instance is > now >= lo - 1.
+  const Slot latest = latest_[static_cast<size_t>(j)];
+  if (latest == 0) return std::nullopt;
+  if (lo == now_ + 1 && latest <= hi) return latest;
   const std::vector<Slot>& slots = per_segment_[static_cast<size_t>(j)];
   // Latest instance <= hi; lists are short (almost always 0 or 1 entries).
   for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
@@ -41,7 +48,12 @@ std::optional<Slot> SlotSchedule::find_instance(Segment j, Slot lo,
 
 bool SlotSchedule::has_future_instance(Segment j) const {
   VOD_DCHECK(j >= 1 && j <= num_segments_);
-  return !per_segment_[static_cast<size_t>(j)].empty();
+  return latest_[static_cast<size_t>(j)] != 0;
+}
+
+Slot SlotSchedule::latest_instance(Segment j) const {
+  VOD_DCHECK(j >= 1 && j <= num_segments_);
+  return latest_[static_cast<size_t>(j)];
 }
 
 const std::vector<Slot>& SlotSchedule::instances_of(Segment j) const {
@@ -61,25 +73,80 @@ void SlotSchedule::add_instance(Segment j, Slot s) {
   const size_t idx = ring_index(s);
   ++loads_[idx];
   ++total_;
+  index_.add(idx, 1);
   contents_[idx].push_back(j);
   std::vector<Slot>& slots = per_segment_[static_cast<size_t>(j)];
   slots.insert(std::upper_bound(slots.begin(), slots.end(), s), s);
+  latest_[static_cast<size_t>(j)] =
+      std::max(latest_[static_cast<size_t>(j)], s);
 }
 
 std::vector<Segment> SlotSchedule::advance() {
+  VOD_DCHECK(overlay_.empty());  // no advance() with a live load overlay
   ++now_;
   const size_t idx = ring_index(now_);
   std::vector<Segment> out = std::move(contents_[idx]);
   contents_[idx].clear();
   total_ -= loads_[idx];
+  if (loads_[idx] != 0) index_.add(idx, -loads_[idx]);
   loads_[idx] = 0;
   for (Segment j : out) {
     std::vector<Slot>& slots = per_segment_[static_cast<size_t>(j)];
     auto it = std::find(slots.begin(), slots.end(), now_);
     VOD_DCHECK(it != slots.end());
     slots.erase(it);
+    latest_[static_cast<size_t>(j)] = slots.empty() ? 0 : slots.back();
   }
   return out;
+}
+
+SlotSchedule::MinLoad SlotSchedule::min_load_latest(Slot lo, Slot hi) const {
+  VOD_DCHECK(lo > now_ && lo <= hi && hi <= now_ + window_);
+  const size_t a = ring_index(lo);
+  const size_t b = ring_index(hi);
+  if (a <= b) {
+    const LoadIndex::MinResult r = index_.min_latest(a, b);
+    return MinLoad{lo + static_cast<Slot>(r.pos - a), r.load};
+  }
+  // The window wraps the ring once: [lo..] maps to [a, size) ("early" slots)
+  // and [..hi] maps to [0, b] ("late" slots). On a load tie the late part
+  // wins — its slots are all later than every early slot.
+  const LoadIndex::MinResult early =
+      index_.min_latest(a, index_.ring_size() - 1);
+  const LoadIndex::MinResult late = index_.min_latest(0, b);
+  if (late.load <= early.load) {
+    return MinLoad{hi - static_cast<Slot>(b - late.pos), late.load};
+  }
+  return MinLoad{lo + static_cast<Slot>(early.pos - a), early.load};
+}
+
+SlotSchedule::MinLoad SlotSchedule::min_load_earliest(Slot lo, Slot hi) const {
+  VOD_DCHECK(lo > now_ && lo <= hi && hi <= now_ + window_);
+  const size_t a = ring_index(lo);
+  const size_t b = ring_index(hi);
+  if (a <= b) {
+    const LoadIndex::MinResult r = index_.min_earliest(a, b);
+    return MinLoad{lo + static_cast<Slot>(r.pos - a), r.load};
+  }
+  const LoadIndex::MinResult early =
+      index_.min_earliest(a, index_.ring_size() - 1);
+  const LoadIndex::MinResult late = index_.min_earliest(0, b);
+  if (early.load <= late.load) {
+    return MinLoad{lo + static_cast<Slot>(early.pos - a), early.load};
+  }
+  return MinLoad{hi - static_cast<Slot>(b - late.pos), late.load};
+}
+
+void SlotSchedule::add_load_overlay(Slot s, int delta) {
+  VOD_DCHECK(s > now_ && s <= now_ + window_);
+  const size_t pos = ring_index(s);
+  index_.add(pos, delta);
+  overlay_.emplace_back(pos, delta);
+}
+
+void SlotSchedule::clear_load_overlay() {
+  for (const auto& [pos, delta] : overlay_) index_.add(pos, -delta);
+  overlay_.clear();
 }
 
 }  // namespace vod

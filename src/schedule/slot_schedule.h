@@ -9,12 +9,30 @@
 // Capacity: the window covers slots (now, now + window]; window must be at
 // least the largest scheduling horizon any caller uses (for DHB that is
 // max_j T[j] <= n).
+//
+// Placement fast path. Beyond the per-slot counters, the schedule keeps
+// two derived structures maintained incrementally by add_instance() /
+// advance():
+//   * a range-min placement index (schedule/load_index.h) over the load
+//     ring, answering min_load_latest() / min_load_earliest() — the
+//     Figure 6 "min load, ties to the latest slot" rule — in O(log W);
+//   * an O(1) latest-instance cache per segment (latest_instance()), the
+//     common-case answer to the sharing probe without touching the
+//     per-segment slot vectors.
+// Both are exact: they reproduce the naive window scans bit for bit (the
+// differential fuzzer is the oracle). Callers running transactional or
+// masked placements (bounded admission, the client-stream-cap variant)
+// can superimpose transient per-slot deltas on the index only via
+// add_load_overlay(); the overlay never touches the real loads and must
+// be cleared before the clock advances.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "schedule/load_index.h"
 #include "schedule/types.h"
 
 namespace vod {
@@ -38,6 +56,12 @@ class SlotSchedule {
   // True when segment j has at least one scheduled instance in the window.
   bool has_future_instance(Segment j) const;
 
+  // Latest scheduled future slot of segment j, or 0 when none — an O(1)
+  // cache over instances_of(j).back(). Because every live instance lies in
+  // the future (> now), a latest instance <= hi answers the whole sharing
+  // probe for a window (now, hi].
+  Slot latest_instance(Segment j) const;
+
   // All scheduled future slots of segment j, ascending. Under uncapped DHB
   // this has at most one element (the paper's sharing invariant); the
   // client-bandwidth-capped variant may create more.
@@ -53,11 +77,35 @@ class SlotSchedule {
 
   // Advances the clock by one slot and returns the segments transmitted
   // during the new current slot (its content is final: no request arriving
-  // from now on may schedule into it).
+  // from now on may schedule into it). Requires an empty overlay.
   std::vector<Segment> advance();
 
   // Total instances currently scheduled in the window.
   int total_scheduled() const { return total_; }
+
+  // --- Range-min placement queries (O(log window)) ---------------------
+
+  struct MinLoad {
+    Slot slot = 0;
+    int load = 0;  // includes any overlay deltas on the winning slot
+  };
+
+  // Slot of minimum load (plus overlay) in [lo, hi], ties broken toward
+  // the latest / earliest slot — exactly the linear hi→lo / lo→hi scans of
+  // Figure 6. Requires now < lo <= hi <= now + window.
+  MinLoad min_load_latest(Slot lo, Slot hi) const;
+  MinLoad min_load_earliest(Slot lo, Slot hi) const;
+
+  // Adds a transient per-slot delta to the placement index only: the real
+  // load counters, ring, and per-segment index are untouched. Used for the
+  // tentative placements of a transactional (bounded) admission and for
+  // masking client-saturated slots in the capped variant.
+  void add_load_overlay(Slot s, int delta);
+
+  // Removes every overlay delta, restoring the index to the real loads.
+  void clear_load_overlay();
+
+  bool has_load_overlay() const { return !overlay_.empty(); }
 
  private:
   // Test-only backdoor (tests/schedule_auditor_test.cc) used to inject
@@ -70,9 +118,12 @@ class SlotSchedule {
   int window_;
   Slot now_ = 0;
   int total_ = 0;
-  std::vector<int> loads_;                       // ring, indexed by slot % size
-  std::vector<std::vector<Segment>> contents_;   // ring of per-slot segment lists
-  std::vector<std::vector<Slot>> per_segment_;   // [segment] -> future slots asc
+  std::vector<int> loads_;                      // ring, indexed by slot % size
+  std::vector<std::vector<Segment>> contents_;  // ring of per-slot segment lists
+  std::vector<std::vector<Slot>> per_segment_;  // [segment] -> future slots asc
+  std::vector<Slot> latest_;                    // [segment] -> latest slot, 0 none
+  LoadIndex index_;                             // range-min over loads_ + overlay
+  std::vector<std::pair<size_t, int>> overlay_;  // applied (pos, delta) pairs
 };
 
 }  // namespace vod

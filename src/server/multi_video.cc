@@ -69,6 +69,8 @@ void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
     } else {
       DhbConfig dhb;
       dhb.num_segments = plan.segments[idx];
+      dhb.use_placement_index = config.fast_admission;
+      dhb.coalesce_same_slot = config.fast_admission;
       scheduler = std::make_unique<DhbScheduler>(dhb);
     }
 
@@ -98,11 +100,20 @@ void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
         out->video_stream_sum[local] += streams;
       }
 
+      // Drain this slot's Poisson arrivals first, then admit them as one
+      // batch: every same-slot request gets the identical plan (the
+      // scheduler's coalescing memo), so the k-1 followers cost O(1) each.
+      // The arrival draws and the admissions use independent rng streams,
+      // so reordering draw-vs-admit changes nothing.
       const double slot_end = static_cast<double>(step) * d;
+      uint64_t batch = 0;
       while (next_arrival < slot_end) {
-        if (scheduler) scheduler->on_request();
-        if (step > plan.warmup_slots) ++out->video_requests[local];
+        ++batch;
         next_arrival = arrivals.next();
+      }
+      if (batch > 0) {
+        if (scheduler) scheduler->on_request_batch(batch);
+        if (step > plan.warmup_slots) out->video_requests[local] += batch;
       }
     }
   }

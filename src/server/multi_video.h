@@ -68,6 +68,12 @@ struct MultiVideoConfig {
   // bit-identical across all values for a fixed seed.
   int num_threads = 1;
 
+  // Run each per-video DhbScheduler on its admission fast path (placement
+  // index + same-slot batch coalescing). The naive mode exists for
+  // differential testing and baseline benchmarks only — results are
+  // bit-identical either way, at any thread count.
+  bool fast_admission = true;
+
   uint64_t seed = 42;
 };
 

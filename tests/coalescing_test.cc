@@ -1,0 +1,162 @@
+// Same-slot request coalescing (DhbConfig::coalesce_same_slot) and the
+// on_request_batch entry point: k same-slot requests must be bit-identical
+// to k sequential admissions — plans AND lifetime counters — and the memo
+// must go stale on every event that can change a same-slot plan.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dhb.h"
+
+namespace vod {
+namespace {
+
+DhbConfig coalescing_config(bool on) {
+  DhbConfig config;
+  config.num_segments = 10;
+  config.coalesce_same_slot = on;
+  return config;
+}
+
+void expect_same_result(const DhbRequestResult& a, const DhbRequestResult& b) {
+  EXPECT_EQ(a.plan.arrival_slot, b.plan.arrival_slot);
+  EXPECT_EQ(a.plan.reception_slot, b.plan.reception_slot);
+  EXPECT_EQ(a.new_instances, b.new_instances);
+  EXPECT_EQ(a.shared_instances, b.shared_instances);
+  EXPECT_EQ(a.cap_violations, b.cap_violations);
+}
+
+void expect_same_counters(const DhbScheduler& a, const DhbScheduler& b) {
+  EXPECT_EQ(a.total_requests(), b.total_requests());
+  EXPECT_EQ(a.total_new_instances(), b.total_new_instances());
+  EXPECT_EQ(a.total_shared(), b.total_shared());
+  EXPECT_EQ(a.total_slot_probes(), b.total_slot_probes());
+  EXPECT_EQ(a.total_rejected_admissions(), b.total_rejected_admissions());
+}
+
+TEST(Coalescing, FollowersGetLeadersPlanAllShared) {
+  DhbScheduler s(coalescing_config(true));
+  const DhbRequestResult leader = s.on_request();
+  EXPECT_EQ(leader.new_instances, 10);  // empty schedule: all fresh
+  const DhbRequestResult follower = s.on_request();
+  EXPECT_EQ(follower.plan.reception_slot, leader.plan.reception_slot);
+  EXPECT_EQ(follower.new_instances, 0);
+  EXPECT_EQ(follower.shared_instances, 10);
+  EXPECT_EQ(s.total_coalesced_requests(), 1u);
+}
+
+TEST(Coalescing, KSameSlotRequestsMatchSequentialAdmits) {
+  DhbScheduler with(coalescing_config(true));
+  DhbScheduler without(coalescing_config(false));
+  for (int slot = 0; slot < 40; ++slot) {
+    const int k = (slot * 7) % 5;  // 0..4 same-slot arrivals
+    for (int i = 0; i < k; ++i) {
+      const DhbRequestResult a = with.on_request();
+      const DhbRequestResult b = without.on_request();
+      expect_same_result(a, b);
+    }
+    expect_same_counters(with, without);
+    ASSERT_EQ(with.advance_slot(), without.advance_slot());
+  }
+  EXPECT_GT(with.total_coalesced_requests(), 0u);
+  EXPECT_EQ(without.total_coalesced_requests(), 0u);
+}
+
+TEST(Coalescing, BatchEqualsSequentialCountersIncluded) {
+  DhbScheduler batched(coalescing_config(true));
+  DhbScheduler sequential(coalescing_config(true));
+  DhbScheduler naive(coalescing_config(false));
+  for (int slot = 0; slot < 20; ++slot) {
+    const uint64_t k = 1 + static_cast<uint64_t>(slot % 4);
+    const DhbRequestResult a = batched.on_request_batch(k);
+    DhbRequestResult b;
+    DhbRequestResult c;
+    for (uint64_t i = 0; i < k; ++i) {
+      b = sequential.on_request();
+      c = naive.on_request();
+    }
+    expect_same_result(a, b);
+    expect_same_result(a, c);
+    expect_same_counters(batched, sequential);
+    expect_same_counters(batched, naive);
+    EXPECT_EQ(batched.total_coalesced_requests(),
+              sequential.total_coalesced_requests());
+    EXPECT_EQ(batched.total_work_units(), sequential.total_work_units());
+    const std::vector<Segment> sent = batched.advance_slot();
+    ASSERT_EQ(sent, sequential.advance_slot());
+    ASSERT_EQ(sent, naive.advance_slot());
+  }
+}
+
+TEST(Coalescing, AdvanceInvalidatesMemo) {
+  DhbScheduler s(coalescing_config(true));
+  s.on_request();
+  s.on_request();
+  EXPECT_EQ(s.total_coalesced_requests(), 1u);
+  s.advance_slot();
+  // The next request must be a genuine admission (segment 1's old instance
+  // just transmitted, so it needs a fresh one), not a stale memo copy.
+  const DhbRequestResult r = s.on_request();
+  EXPECT_GT(r.new_instances, 0);
+  EXPECT_EQ(s.total_coalesced_requests(), 1u);
+}
+
+TEST(Coalescing, ClampedAdmissionInvalidatesMemo) {
+  DhbScheduler with(coalescing_config(true));
+  DhbScheduler without(coalescing_config(false));
+  for (int round = 0; round < 3; ++round) {
+    expect_same_result(with.on_request(), without.on_request());
+    // A resume may schedule an extra instance inside the full window,
+    // changing what the *next* full request shares: the memo must not
+    // serve the pre-resume plan.
+    expect_same_result(with.on_resume(5), without.on_resume(5));
+    expect_same_result(with.on_request(), without.on_request());
+    expect_same_result(with.on_range(2, 7), without.on_range(2, 7));
+    expect_same_result(with.on_request(), without.on_request());
+    expect_same_counters(with, without);
+    ASSERT_EQ(with.advance_slot(), without.advance_slot());
+  }
+}
+
+TEST(Coalescing, BoundedAdmissionInvalidatesMemo) {
+  DhbScheduler with(coalescing_config(true));
+  DhbScheduler without(coalescing_config(false));
+  for (int round = 0; round < 4; ++round) {
+    expect_same_result(with.on_request(), without.on_request());
+    const std::optional<DhbRequestResult> a = with.on_request_bounded(2);
+    const std::optional<DhbRequestResult> b = without.on_request_bounded(2);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) expect_same_result(*a, *b);
+    expect_same_result(with.on_request(), without.on_request());
+    expect_same_counters(with, without);
+    ASSERT_EQ(with.advance_slot(), without.advance_slot());
+    ASSERT_EQ(with.advance_slot(), without.advance_slot());
+  }
+}
+
+TEST(Coalescing, CappedClientsNeverCoalesce) {
+  DhbConfig config = coalescing_config(true);
+  config.client_stream_cap = 2;
+  DhbScheduler s(config);
+  s.on_request();
+  s.on_request();
+  s.on_request();
+  EXPECT_EQ(s.total_coalesced_requests(), 0u);
+}
+
+TEST(Coalescing, FollowerCountersAdvanceLikeSequential) {
+  DhbScheduler s(coalescing_config(true));
+  s.on_request();
+  const uint64_t probes_after_leader = s.total_slot_probes();
+  const uint64_t shared_after_leader = s.total_shared();
+  s.on_request();
+  // A sequential second admission probes the same sum-of-windows and
+  // shares every segment; the memoized follower must account identically.
+  EXPECT_EQ(s.total_slot_probes(), 2 * probes_after_leader);
+  EXPECT_EQ(s.total_shared(), shared_after_leader + 10);
+  EXPECT_EQ(s.total_requests(), 2u);
+  EXPECT_EQ(s.total_new_instances(), 10u);
+}
+
+}  // namespace
+}  // namespace vod

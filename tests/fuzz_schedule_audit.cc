@@ -277,6 +277,104 @@ std::vector<int> tight_periods() {
   return {1, 2, 2, 3, 3, 4, 4, 5, 6, 6, 7, 8};
 }
 
+// Second differential axis: the production scheduler against itself, fast
+// paths (placement index + same-slot coalescing) versus the naive Figure 6
+// scans, fed one identical operation trace. Every plan, every transmission
+// vector (exact order, not sorted — the fast path must not even reorder
+// ring insertions), and every logical counter must match bit for bit.
+// Unlike the NaiveOracle diff this also covers kRandom (both sides consume
+// identical rng streams) and the capped-client variant.
+void run_mode_diff(const FuzzConfig& fc, uint64_t* checked) {
+  DhbConfig base;
+  base.num_segments = fc.num_segments;
+  base.periods = fc.periods;
+  base.heuristic = fc.heuristic;
+  base.client_stream_cap = fc.client_stream_cap;
+  base.heuristic_seed = fc.seed * 7 + 1;
+  DhbConfig fast_config = base;
+  fast_config.use_placement_index = true;
+  fast_config.coalesce_same_slot = true;
+  DhbConfig naive_config = base;
+  naive_config.use_placement_index = false;
+  naive_config.coalesce_same_slot = false;
+  DhbScheduler fast(fast_config);
+  DhbScheduler naive(naive_config);
+  Rng rng(fc.seed);
+
+  const auto compare_results = [&](const DhbRequestResult& a,
+                                   const DhbRequestResult& b) {
+    ASSERT_EQ(a.plan.arrival_slot, b.plan.arrival_slot);
+    ASSERT_EQ(a.plan.reception_slot, b.plan.reception_slot)
+        << "mode divergence at slot " << fast.current_slot() << " (heuristic "
+        << to_string(fc.heuristic) << ", seed " << fc.seed << ")";
+    ASSERT_EQ(a.new_instances, b.new_instances);
+    ASSERT_EQ(a.shared_instances, b.shared_instances);
+    ASSERT_EQ(a.cap_violations, b.cap_violations);
+    ++*checked;
+  };
+  const auto compare_counters = [&]() {
+    // work_units and coalesced_requests intentionally differ between the
+    // modes; every logical counter must not.
+    ASSERT_EQ(fast.total_requests(), naive.total_requests());
+    ASSERT_EQ(fast.total_new_instances(), naive.total_new_instances());
+    ASSERT_EQ(fast.total_shared(), naive.total_shared());
+    ASSERT_EQ(fast.total_slot_probes(), naive.total_slot_probes());
+    ASSERT_EQ(fast.total_rejected_admissions(),
+              naive.total_rejected_admissions());
+  };
+
+  for (int slot = 0; slot < fc.slots && !testing::Test::HasFailure(); ++slot) {
+    ASSERT_EQ(fast.advance_slot(), naive.advance_slot())
+        << "transmission divergence entering slot " << fast.current_slot()
+        << " (heuristic " << to_string(fc.heuristic) << ", seed " << fc.seed
+        << ")";
+
+    uint64_t pending = rng.poisson(fc.arrivals_per_slot);
+    while (pending > 0 && !testing::Test::HasFailure()) {
+      Segment first = 1;
+      Segment last = static_cast<Segment>(fc.num_segments);
+      const double op = fc.mixed_ops ? rng.uniform() : 1.0;
+      if (op < 0.2) {  // resume
+        first = static_cast<Segment>(
+            1 + rng.uniform_index(static_cast<uint64_t>(fc.num_segments)));
+      } else if (op < 0.4) {  // range
+        first = static_cast<Segment>(
+            1 + rng.uniform_index(static_cast<uint64_t>(fc.num_segments)));
+        last = static_cast<Segment>(
+            first + static_cast<Segment>(rng.uniform_index(
+                        static_cast<uint64_t>(fc.num_segments - first + 1))));
+      }
+
+      if (fc.bounded_cap > 0 && first == 1 && last == fc.num_segments) {
+        const std::optional<DhbRequestResult> a =
+            fast.on_request_bounded(fc.bounded_cap);
+        const std::optional<DhbRequestResult> b =
+            naive.on_request_bounded(fc.bounded_cap);
+        ASSERT_EQ(a.has_value(), b.has_value())
+            << "bounded verdict divergence at slot " << fast.current_slot();
+        if (a) compare_results(*a, *b);
+        --pending;
+      } else if (first == 1 && last == fc.num_segments && pending >= 2 &&
+                 fc.client_stream_cap == 0 && rng.uniform() < 0.5) {
+        // Batch entry point: one on_request_batch(k) on the fast side must
+        // equal k sequential naive admissions — every follower included.
+        const uint64_t k =
+            2 + rng.uniform_index(pending - 1);  // 2..pending
+        const DhbRequestResult a = fast.on_request_batch(k);
+        DhbRequestResult b;
+        for (uint64_t i = 0; i < k; ++i) b = naive.on_request();
+        compare_results(a, b);
+        pending -= k;
+      } else {
+        compare_results(fast.on_range(first, last),
+                        naive.on_range(first, last));
+        --pending;
+      }
+      compare_counters();
+    }
+  }
+}
+
 TEST(FuzzScheduleAudit, DeterministicHeuristicsAgainstOracle) {
   const SlotHeuristic heuristics[] = {
       SlotHeuristic::kMinLoadLatest, SlotHeuristic::kMinLoadEarliest,
@@ -357,6 +455,76 @@ TEST(FuzzScheduleAudit, CappedClientAuditOnly) {
   uint64_t audited = 0;
   run_fuzz(fc, &audited);
   EXPECT_GE(audited, 800u);
+}
+
+TEST(FuzzModeDiff, AllHeuristicsAllPeriodVectors) {
+  const SlotHeuristic heuristics[] = {
+      SlotHeuristic::kMinLoadLatest, SlotHeuristic::kMinLoadEarliest,
+      SlotHeuristic::kLatest, SlotHeuristic::kEarliest,
+      SlotHeuristic::kRandom};
+  const std::vector<std::vector<int>> period_vectors = {
+      {}, work_ahead_periods(), tight_periods()};
+  uint64_t checked = 0;
+  uint64_t seed = 600;
+  for (SlotHeuristic h : heuristics) {
+    for (const std::vector<int>& periods : period_vectors) {
+      FuzzConfig fc;
+      fc.heuristic = h;
+      fc.periods = periods;
+      fc.arrivals_per_slot = 2.0;  // same-slot bursts exercise coalescing
+      fc.seed = ++seed;
+      fc.slots = 300;
+      run_mode_diff(fc, &checked);
+      if (testing::Test::HasFailure()) return;
+    }
+  }
+  EXPECT_GE(checked, 5000u);
+}
+
+TEST(FuzzModeDiff, MixedResumeRangeOps) {
+  const std::vector<std::vector<int>> period_vectors = {
+      {}, work_ahead_periods(), tight_periods()};
+  uint64_t checked = 0;
+  uint64_t seed = 700;
+  for (const std::vector<int>& periods : period_vectors) {
+    FuzzConfig fc;
+    fc.periods = periods;
+    fc.mixed_ops = true;
+    fc.arrivals_per_slot = 1.5;
+    fc.seed = ++seed;
+    fc.slots = 400;
+    run_mode_diff(fc, &checked);
+    if (testing::Test::HasFailure()) return;
+  }
+  EXPECT_GE(checked, 1500u);
+}
+
+TEST(FuzzModeDiff, BoundedAdmission) {
+  FuzzConfig fc;
+  fc.bounded_cap = 3;
+  fc.arrivals_per_slot = 1.5;  // push into rejection territory
+  fc.seed = 800;
+  fc.slots = 500;
+  uint64_t checked = 0;
+  run_mode_diff(fc, &checked);
+  fc.mixed_ops = true;  // bounded admissions interleaved with resumes/ranges
+  fc.seed = 801;
+  run_mode_diff(fc, &checked);
+  EXPECT_GE(checked, 900u);
+}
+
+TEST(FuzzModeDiff, CappedClient) {
+  FuzzConfig fc;
+  fc.client_stream_cap = 2;
+  fc.arrivals_per_slot = 1.5;
+  fc.seed = 900;
+  fc.slots = 400;
+  uint64_t checked = 0;
+  run_mode_diff(fc, &checked);
+  fc.client_stream_cap = 1;  // saturates instantly: fallback-heavy
+  fc.seed = 901;
+  run_mode_diff(fc, &checked);
+  EXPECT_GE(checked, 1000u);
 }
 
 }  // namespace
