@@ -2,10 +2,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/dhb_simulator.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "protocols/stream_tapping.h"
 
 namespace vod::bench {
@@ -41,5 +45,61 @@ inline TappingConfig tapping_config(double requests_per_hour,
 inline void print_header(const std::string& title, const std::string& notes) {
   std::printf("== %s ==\n%s\n\n", title.c_str(), notes.c_str());
 }
+
+// Optional observability surface shared by every bench binary: construct
+// with argv, and when the user passed --trace-out and/or --metrics-out an
+// ambient ObsSink is installed for the object's lifetime (so simulator
+// runs record trace events and snapshot their counters). Call write() once
+// the sweep is done. With neither flag the object is inert.
+class BenchObservability {
+ public:
+  BenchObservability(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace-out") == 0) {
+        trace_out_ = argv[i + 1];
+      } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+        metrics_out_ = argv[i + 1];
+      }
+    }
+    if (enabled()) {
+      sink_.metrics = &metrics_;
+      sink_.trace = &trace_;
+      scoped_.emplace(&sink_);
+    }
+  }
+
+  bool enabled() const {
+    return !trace_out_.empty() || !metrics_out_.empty();
+  }
+
+  // Writes the requested outputs; .prom selects Prometheus text, any other
+  // metrics extension JSONL. Returns false when a file cannot be written.
+  bool write() const {
+    bool ok = true;
+    if (!trace_out_.empty()) {
+      ok = obs::write_chrome_trace(trace_out_, {&trace_}) && ok;
+    }
+    if (!metrics_out_.empty()) {
+      const bool prom =
+          metrics_out_.size() >= 5 &&
+          metrics_out_.compare(metrics_out_.size() - 5, 5, ".prom") == 0;
+      ok = (prom ? obs::write_prometheus(metrics_out_, metrics_)
+                 : obs::write_metrics_jsonl(metrics_out_, metrics_)) &&
+           ok;
+    }
+    return ok;
+  }
+
+  obs::MetricShard& metrics() { return metrics_; }
+  obs::TraceBuffer& trace() { return trace_; }
+
+ private:
+  obs::MetricShard metrics_;
+  obs::TraceBuffer trace_;
+  obs::ObsSink sink_;
+  std::optional<obs::ScopedObsSink> scoped_;
+  std::string trace_out_;
+  std::string metrics_out_;
+};
 
 }  // namespace vod::bench

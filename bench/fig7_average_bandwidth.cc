@@ -23,6 +23,9 @@ int main(int argc, char** argv) {
   using namespace vod;
   using namespace vod::bench;
 
+  // --trace-out / --metrics-out record the DHB runs of the sweep.
+  BenchObservability obs(argc, argv);
+
   const VideoParams video;  // two hours, 99 segments
   const double npb_streams =
       static_cast<double>(NpbMapping::streams_for(video.num_segments));
@@ -52,7 +55,8 @@ int main(int argc, char** argv) {
                           2);
   }
   table.print();
-  if (argc > 1) {
+  if (obs.enabled() && !obs.write()) return 1;
+  if (argc > 1 && argv[1][0] != '-') {
     // Optional CSV export for plotting: ./binary out.csv
     FILE* csv = std::fopen(argv[1], "w");
     if (csv != nullptr) {

@@ -2,21 +2,29 @@
 //
 // Usage:
 //   vodsim [--protocol dhb|ud|dnpb|dsb|tapping|patching|merging|catching|
-//                      batching]
+//                      batching|multi]
 //          [--rate R]        requests/hour            (default 50)
 //          [--segments N]    segments / slot count    (default 99)
 //          [--duration S]    video length in seconds  (default 7200)
 //          [--hours H]       measured hours           (default 100)
 //          [--seed S]        RNG seed                 (default 42)
+//          [--videos V]      catalog size, multi only (default 200)
+//          [--threads T]     engine workers, multi only (default 1)
+//          [--trace-out P]   write Chrome trace-event JSON to P
+//          [--metrics-out P] write metrics to P (.prom -> Prometheus
+//                            text exposition; anything else -> JSONL)
 //
 // Prints average/maximum bandwidth and protocol-specific diagnostics.
 // Exit code 0 on success, 2 on bad usage.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "core/dhb_simulator.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "protocols/batching.h"
 #include "protocols/npb.h"
 #include "protocols/on_demand.h"
@@ -25,6 +33,7 @@
 #include "protocols/skyscraper.h"
 #include "protocols/stream_tapping.h"
 #include "protocols/ud.h"
+#include "server/multi_video.h"
 
 using namespace vod;
 
@@ -37,14 +46,21 @@ struct Options {
   double duration = 7200.0;
   double hours = 100.0;
   uint64_t seed = 42;
+  int videos = 200;
+  int threads = 1;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--protocol dhb|ud|dnpb|dsb|tapping|patching|"
-               "merging|catching|batching]\n"
+               "merging|catching|batching|multi]\n"
                "          [--rate R] [--segments N] [--duration S] "
-               "[--hours H] [--seed S]\n",
+               "[--hours H] [--seed S]\n"
+               "          [--videos V] [--threads T]\n"
+               "          [--trace-out trace.json] "
+               "[--metrics-out metrics.prom|metrics.jsonl]\n",
                argv0);
   return 2;
 }
@@ -66,12 +82,20 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->hours = std::atof(value);
     } else if (flag == "--seed") {
       opt->seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (flag == "--videos") {
+      opt->videos = std::atoi(value);
+    } else if (flag == "--threads") {
+      opt->threads = std::atoi(value);
+    } else if (flag == "--trace-out") {
+      opt->trace_out = value;
+    } else if (flag == "--metrics-out") {
+      opt->metrics_out = value;
     } else {
       return false;
     }
   }
   return opt->rate > 0 && opt->segments > 0 && opt->duration > 0 &&
-         opt->hours > 0;
+         opt->hours > 0 && opt->videos > 0 && opt->threads >= 0;
 }
 
 void report(const char* name, double avg, double max, uint64_t requests) {
@@ -79,11 +103,71 @@ void report(const char* name, double avg, double max, uint64_t requests) {
               name, avg, max, static_cast<unsigned long long>(requests));
 }
 
+bool ends_with(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+// Writes whatever the run recorded. Metrics format follows the extension:
+// .prom selects Prometheus text exposition, everything else JSONL.
+bool write_observability(const Options& opt,
+                         const std::vector<const obs::TraceBuffer*>& buffers,
+                         const obs::MetricShard& metrics) {
+  bool ok = true;
+  if (!opt.trace_out.empty()) {
+    ok = obs::write_chrome_trace(opt.trace_out, buffers) && ok;
+    if (ok) std::printf("trace   -> %s\n", opt.trace_out.c_str());
+  }
+  if (!opt.metrics_out.empty()) {
+    ok = (ends_with(opt.metrics_out, ".prom")
+              ? obs::write_prometheus(opt.metrics_out, metrics)
+              : obs::write_metrics_jsonl(opt.metrics_out, metrics)) &&
+         ok;
+    if (ok) std::printf("metrics -> %s\n", opt.metrics_out.c_str());
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
   if (!parse(argc, argv, &opt)) return usage(argv[0]);
+  const bool observe = !opt.trace_out.empty() || !opt.metrics_out.empty();
+
+  if (opt.protocol == "multi") {
+    // The sharded catalog engine, with per-shard observability when any
+    // output was requested.
+    MultiVideoConfig mc;
+    mc.catalog_size = opt.videos;
+    mc.num_segments = opt.segments;
+    mc.total_requests_per_hour = opt.rate;
+    mc.measured_hours = opt.hours;
+    mc.num_threads = opt.threads;
+    mc.seed = opt.seed;
+    obs::EngineObserver observer;
+    if (observe) mc.observer = &observer;
+    const MultiVideoResult r = run_multi_video_simulation(mc);
+    std::printf("catalog %d videos, %d segments each, %.1f req/h aggregate, "
+                "%.0f measured hours, %d threads\n\n",
+                opt.videos, opt.segments, opt.rate, opt.hours, opt.threads);
+    report("multi", r.avg_streams, r.max_streams, r.requests);
+    if (observe) {
+      const obs::MetricShard merged = observer.merged_metrics();
+      if (!write_observability(opt, observer.trace_buffers(), merged)) {
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+  // Single-video protocols record through the ambient per-thread sink; the
+  // DHB simulator also snapshots its scheduler/meter counters into it.
+  obs::MetricShard metrics;
+  obs::TraceBuffer trace;
+  obs::ObsSink sink{&metrics, &trace};
+  std::optional<obs::ScopedObsSink> scoped;
+  if (observe) scoped.emplace(&sink);
 
   SlottedSimConfig sim;
   sim.video.duration_s = opt.duration;
@@ -165,5 +249,6 @@ int main(int argc, char** argv) {
   } else {
     return usage(argv[0]);
   }
+  if (observe && !write_observability(opt, {&trace}, metrics)) return 1;
   return 0;
 }

@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Well-formedness checker for the observability exporters' outputs.
+
+Validates files produced by --trace-out / --metrics-out (vodsim and the
+bench binaries) and fails (exit 1) on the first malformed construct, so CI
+catches exporter drift with real end-to-end artifacts instead of unit
+fixtures. Dispatch is by extension:
+
+* .json  — Chrome trace-event JSON (chrome://tracing, Perfetto). Checks
+  the top-level envelope, the process-name metadata for the two clock
+  domains (pid 1 slot time, pid 2 wall clock), and every event's phase,
+  timestamps, and args. Slot-domain timestamps must be whole slots
+  (integer microseconds, 1 slot = 1000 us).
+* .prom  — Prometheus text exposition. Checks name charset, that every
+  sample belongs to a preceding # TYPE family, and histogram coherence:
+  increasing le edges, non-decreasing cumulative buckets, a final +Inf
+  bucket equal to _count, and a _sum sample.
+* .jsonl — metric snapshots, one JSON object per line. Checks the
+  self-describing schema and that histogram bin sums equal counts.
+
+Usage:
+  scripts/validate_trace.py FILE [FILE...]
+"""
+
+import json
+import re
+import sys
+
+PROM_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+PROM_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$")
+PROM_TYPE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<kind>counter|gauge|histogram|summary|untyped)$")
+
+
+def fail(path, msg):
+    sys.exit(f"{path}: {msg}")
+
+
+def validate_chrome_trace(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(path, f"invalid JSON: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(path, "missing traceEvents envelope")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(path, "traceEvents empty or not an array")
+    if doc.get("displayTimeUnit") != "ms":
+        fail(path, "displayTimeUnit must be 'ms'")
+
+    named_pids = {}
+    counts = {"X": 0, "i": 0, "C": 0, "M": 0}
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            fail(path, f"{where}: not an object")
+        ph = e.get("ph")
+        if ph not in counts:
+            fail(path, f"{where}: unknown phase {ph!r}")
+        counts[ph] += 1
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            fail(path, f"{where}: missing event name")
+        if not isinstance(e.get("pid"), int):
+            fail(path, f"{where}: missing integer pid")
+        if ph == "M":
+            if e["name"] == "process_name":
+                named_pids[e["pid"]] = e.get("args", {}).get("name")
+            continue
+        if e["pid"] not in (1, 2):
+            fail(path, f"{where}: pid {e['pid']} is neither slot (1) nor "
+                       "wall (2)")
+        if not isinstance(e.get("cat"), str) or not e["cat"]:
+            fail(path, f"{where}: missing category")
+        if not isinstance(e.get("tid"), int) or e["tid"] < 0:
+            fail(path, f"{where}: missing non-negative tid")
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(path, f"{where}: missing non-negative ts")
+        if e["pid"] == 1 and (not isinstance(ts, int) or ts % 1000 != 0):
+            fail(path, f"{where}: slot-domain ts {ts!r} is not a whole slot")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(path, f"{where}: complete event without dur")
+        if ph == "i" and e.get("s") not in ("t", "p", "g"):
+            fail(path, f"{where}: instant event without scope")
+        if ph == "C":
+            args = e.get("args")
+            if not isinstance(args, dict) or not args:
+                fail(path, f"{where}: counter event without args")
+        for k, v in e.get("args", {}).items():
+            if not isinstance(k, str) or not isinstance(v, (int, float)):
+                fail(path, f"{where}: non-numeric arg {k!r}")
+
+    for pid in (1, 2):
+        if pid not in named_pids:
+            fail(path, f"no process_name metadata for pid {pid}")
+    dropped = doc.get("otherData", {}).get("droppedEvents")
+    print(f"{path}: ok — {counts['X']} spans, {counts['i']} instants, "
+          f"{counts['C']} counter samples, {counts['M']} metadata, "
+          f"dropped={dropped}")
+
+
+def validate_prometheus(path):
+    with open(path, "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    types = {}           # family -> kind
+    samples = []         # (lineno, name, labels, value)
+    for no, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# HELP "):
+                continue
+            m = PROM_TYPE.match(line)
+            if m is None:
+                fail(path, f"line {no}: malformed comment {line!r}")
+            if m["name"] in types:
+                fail(path, f"line {no}: duplicate # TYPE for {m['name']}")
+            types[m["name"]] = m["kind"]
+            continue
+        m = PROM_SAMPLE.match(line)
+        if m is None:
+            fail(path, f"line {no}: malformed sample {line!r}")
+        try:
+            value = float(m["value"])
+        except ValueError:
+            fail(path, f"line {no}: non-numeric value {m['value']!r}")
+        samples.append((no, m["name"], m["labels"], value))
+    if not samples:
+        fail(path, "no samples")
+
+    # Group histogram series under their family name.
+    hist_parts = {}
+    for no, name, labels, value in samples:
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in types:
+                family = name[:-len(suffix)]
+                break
+        if family not in types:
+            fail(path, f"line {no}: sample {name} has no # TYPE declaration")
+        kind = types[family]
+        if kind == "histogram":
+            part = name[len(family):] or "_value"
+            hist_parts.setdefault(family, []).append(
+                (no, part, labels, value))
+        else:
+            if labels:
+                fail(path, f"line {no}: unexpected labels on {kind} sample")
+            if kind == "counter" and value < 0:
+                fail(path, f"line {no}: negative counter {name}")
+
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        parts = hist_parts.get(family)
+        if parts is None:
+            fail(path, f"histogram {family} declared but has no series")
+        buckets, total_sum, total_count = [], None, None
+        for no, part, labels, value in parts:
+            if part == "_bucket":
+                m = re.match(r'^le="([^"]+)"$', labels or "")
+                if m is None:
+                    fail(path, f"line {no}: bucket of {family} without le")
+                le = float("inf") if m[1] == "+Inf" else float(m[1])
+                buckets.append((no, le, value))
+            elif part == "_sum":
+                total_sum = value
+            elif part == "_count":
+                total_count = value
+            else:
+                fail(path, f"line {no}: unexpected histogram series "
+                           f"{family}{part}")
+        if total_sum is None or total_count is None:
+            fail(path, f"histogram {family}: missing _sum or _count")
+        if not buckets or buckets[-1][1] != float("inf"):
+            fail(path, f"histogram {family}: buckets must end with le=+Inf")
+        prev_le, prev_cum = float("-inf"), 0.0
+        for no, le, cum in buckets:
+            if le <= prev_le:
+                fail(path, f"line {no}: le edges of {family} not increasing")
+            if cum < prev_cum:
+                fail(path, f"line {no}: buckets of {family} not cumulative")
+            prev_le, prev_cum = le, cum
+        if buckets[-1][2] != total_count:
+            fail(path, f"histogram {family}: +Inf bucket "
+                       f"{buckets[-1][2]} != _count {total_count}")
+
+    kinds = sorted(types.values())
+    print(f"{path}: ok — {len(samples)} samples in {len(types)} families "
+          f"({', '.join(f'{kinds.count(k)} {k}' for k in dict.fromkeys(kinds))})")
+
+
+def validate_jsonl(path):
+    with open(path, "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    n = 0
+    for no, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(path, f"line {no}: invalid JSON: {e}")
+        kind = obj.get("kind")
+        if kind in ("counter", "gauge"):
+            if not isinstance(obj.get("name"), str) or "value" not in obj:
+                fail(path, f"line {no}: malformed {kind} snapshot")
+        elif kind == "histogram":
+            for key in ("name", "count", "sum", "lo", "bin_width", "bins"):
+                if key not in obj:
+                    fail(path, f"line {no}: histogram missing {key!r}")
+            if sum(obj["bins"]) != obj["count"]:
+                fail(path, f"line {no}: histogram bins sum "
+                           f"{sum(obj['bins'])} != count {obj['count']}")
+        else:
+            fail(path, f"line {no}: unknown metric kind {kind!r}")
+        n += 1
+    if n == 0:
+        fail(path, "no metric snapshots")
+    print(f"{path}: ok — {n} metric snapshots")
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.exit(__doc__)
+    for path in argv[1:]:
+        if path.endswith(".prom"):
+            validate_prometheus(path)
+        elif path.endswith(".jsonl"):
+            validate_jsonl(path)
+        elif path.endswith(".json"):
+            validate_chrome_trace(path)
+        else:
+            fail(path, "unknown extension (expected .json/.prom/.jsonl)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

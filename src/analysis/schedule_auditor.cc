@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/dhb.h"
+#include "obs/trace.h"
 #include "schedule/bandwidth_meter.h"
 #include "util/check.h"
 
@@ -13,6 +14,13 @@ namespace {
 
 void add_violation(AuditReport* report, AuditViolationKind kind,
                    Segment segment, Slot slot, std::string message) {
+  // Every failed invariant also lands in the ambient trace/metric sink, so
+  // a Perfetto timeline shows *where in slot time* the schedule went bad
+  // and vod_audit_violations_total alerts without parsing report text.
+  VOD_TRACE_INSTANT("audit/violation", "audit", slot,
+                    {"kind", static_cast<int64_t>(kind)},
+                    {"segment", segment});
+  VOD_METRIC_INC("audit_violations_total", 1);
   report->violations.push_back(
       AuditViolation{kind, segment, slot, std::move(message)});
 }

@@ -6,6 +6,7 @@
 #ifdef VOD_AUDIT
 #include "analysis/schedule_auditor.h"
 #endif
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace vod {
@@ -64,8 +65,38 @@ DhbScheduler::DhbScheduler(const DhbConfig& config)
                                      return acc + static_cast<uint64_t>(t);
                                    })),
       schedule_(config.num_segments, window_),
-      rng_(config.heuristic_seed) {
+      rng_(config.heuristic_seed),
+      c_requests_(metrics_.counter("dhb_requests_total")),
+      c_new_(metrics_.counter("dhb_new_instances_total")),
+      c_shared_(metrics_.counter("dhb_shared_instances_total")),
+      c_probes_(metrics_.counter("dhb_slot_probes_total")),
+      c_rejected_(metrics_.counter("dhb_rejected_admissions_total")),
+      c_work_(metrics_.counter("dhb_work_units_total")),
+      c_coalesced_(metrics_.counter("dhb_coalesced_requests_total")),
+      c_adm_placed_(metrics_.counter("dhb_admissions_placed_total")),
+      c_adm_all_shared_(metrics_.counter("dhb_admissions_all_shared_total")),
+      c_cap_violations_(metrics_.counter("dhb_cap_violation_slots_total")) {
   VOD_CHECK(config.client_stream_cap >= 0);
+}
+
+const obs::MetricShard& DhbScheduler::metrics() const {
+  // The schedule_* counters mirror monotone op meters kept by the
+  // SlotSchedule / LoadIndex fast path; sample them up to the current value
+  // on access (counters only support inc, and the meters never decrease).
+  const auto sample = [this](const char* name, uint64_t now_value) {
+    obs::Counter* c = metrics_.counter(name);
+    c->inc(now_value - c->value());
+  };
+  sample("schedule_instances_added_total", schedule_.total_instances_added());
+  sample("schedule_advances_total", schedule_.total_advances());
+  sample("schedule_overlay_ops_total", schedule_.total_overlay_ops());
+  sample("schedule_index_queries_total", schedule_.total_index_queries());
+  sample("schedule_index_updates_total", schedule_.total_index_updates());
+  return metrics_;
+}
+
+void DhbScheduler::export_metrics(obs::MetricShard* out) const {
+  out->merge_from(metrics());
 }
 
 std::optional<Slot> DhbScheduler::choose_capped_slot(
@@ -96,11 +127,15 @@ DhbRequestResult DhbScheduler::on_request() {
       // segment into the window, so this request shares all of them — the
       // plan is the leader's, no heuristic runs, no rng is consumed, and
       // the counters advance exactly as a sequential re-admission's would.
-      ++total_requests_;
-      total_shared_ += static_cast<uint64_t>(config_.num_segments);
-      total_slot_probes_ += sum_periods_;
-      total_work_units_ += kWorkMemoCopy;
-      ++total_coalesced_;
+      c_requests_->inc();
+      c_shared_->inc(static_cast<uint64_t>(config_.num_segments));
+      c_probes_->inc(sum_periods_);
+      c_work_->inc(kWorkMemoCopy);
+      c_coalesced_->inc();
+      c_adm_all_shared_->inc();
+      VOD_TRACE_INSTANT("admission/coalesced", "dhb", schedule_.now(),
+                        {"count", 1},
+                        {"shared", config_.num_segments});
       return memo_result_;
     }
     DhbRequestResult result = admit(1, config_.num_segments);
@@ -121,12 +156,15 @@ DhbRequestResult DhbScheduler::on_request_batch(uint64_t count) {
   if (config_.coalesce_same_slot && config_.client_stream_cap == 0) {
     // All count-1 followers are identical; advance the counters in bulk.
     const uint64_t followers = count - 1;
-    total_requests_ += followers;
-    total_shared_ +=
-        followers * static_cast<uint64_t>(config_.num_segments);
-    total_slot_probes_ += followers * sum_periods_;
-    total_work_units_ += followers * kWorkMemoCopy;
-    total_coalesced_ += followers;
+    c_requests_->inc(followers);
+    c_shared_->inc(followers * static_cast<uint64_t>(config_.num_segments));
+    c_probes_->inc(followers * sum_periods_);
+    c_work_->inc(followers * kWorkMemoCopy);
+    c_coalesced_->inc(followers);
+    c_adm_all_shared_->inc(followers);
+    VOD_TRACE_INSTANT("admission/coalesced", "dhb", schedule_.now(),
+                      {"count", static_cast<int64_t>(followers)},
+                      {"shared", config_.num_segments});
     return memo_result_;
   }
   for (uint64_t i = 1; i < count; ++i) result = on_request();
@@ -189,7 +227,7 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
                        static_cast<int>(j - first_segment + 1));
     const Slot hi = arrival + period;
     const uint64_t width = static_cast<uint64_t>(hi - lo + 1);
-    total_slot_probes_ += width;
+    c_probes_->inc(width);
 
     Slot chosen = 0;
     bool is_new = false;
@@ -197,19 +235,19 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
     if (cap == 0) {
       // find_instance answers in O(1) off the latest-instance cache here:
       // lo is now+1, so the window is the whole scheduling future.
-      total_work_units_ += kWorkShareProbe;
+      c_work_->inc(kWorkShareProbe);
       if (std::optional<Slot> shared = schedule_.find_instance(j, lo, hi)) {
         chosen = *shared;
       } else {
         chosen = choose_slot(config_.heuristic, schedule_, lo, hi, &rng_,
                              fast);
         is_new = true;
-        total_work_units_ += (fast ? kWorkIndexQuery : width) + kWorkCommit;
+        c_work_->inc((fast ? kWorkIndexQuery : width) + kWorkCommit);
       }
     } else {
       // Prefer sharing an instance in a slot with remaining client capacity
       // (latest such instance: least buffering, most future sharing).
-      total_work_units_ += kWorkShareProbe;
+      c_work_->inc(kWorkShareProbe);
       const std::vector<Slot>& existing = schedule_.instances_of(j);
       for (auto it = existing.rbegin(); it != existing.rend(); ++it) {
         if (*it < lo || *it > hi) continue;
@@ -225,17 +263,17 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
         // >= the mask means every slot in the window is saturated.
         std::optional<Slot> fresh;
         if (fast) {
-          total_work_units_ += kWorkIndexQuery;
+          c_work_->inc(kWorkIndexQuery);
           const SlotSchedule::MinLoad m = schedule_.min_load_latest(lo, hi);
           if (m.load < kClientSaturatedMask) fresh = m.slot;
         } else {
-          total_work_units_ += width;
+          c_work_->inc(width);
           fresh = choose_capped_slot(lo, hi, client_load_, arrival);
         }
         if (fresh) {
           chosen = *fresh;
           is_new = true;
-          total_work_units_ += kWorkCommit;
+          c_work_->inc(kWorkCommit);
         } else {
           // The cap cannot be honoured anywhere in the window. Fall back to
           // the uncapped rule and record the violation: the plan stays
@@ -243,7 +281,7 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
           // The fallback must see raw loads, so it always runs the naive
           // scans (the placement index carries the saturation overlay).
           ++result.cap_violations;
-          total_work_units_ += kWorkShareProbe;
+          c_work_->inc(kWorkShareProbe);
           if (std::optional<Slot> shared =
                   schedule_.find_instance(j, lo, hi)) {
             chosen = *shared;
@@ -251,7 +289,7 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
             chosen = choose_slot(SlotHeuristic::kMinLoadLatest, schedule_, lo,
                                  hi, &rng_, /*use_index=*/false);
             is_new = true;
-            total_work_units_ += width + kWorkCommit;
+            c_work_->inc(width + kWorkCommit);
           }
         }
       }
@@ -279,9 +317,16 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
 
   if (cap > 0 && fast) schedule_.clear_load_overlay();
 
-  ++total_requests_;
-  total_new_instances_ += static_cast<uint64_t>(result.new_instances);
-  total_shared_ += static_cast<uint64_t>(result.shared_instances);
+  c_requests_->inc();
+  c_new_->inc(static_cast<uint64_t>(result.new_instances));
+  c_shared_->inc(static_cast<uint64_t>(result.shared_instances));
+  (result.new_instances > 0 ? c_adm_placed_ : c_adm_all_shared_)->inc();
+  VOD_TRACE_INSTANT(result.new_instances > 0 ? "admission/placed"
+                                             : "admission/shared",
+                    "dhb", arrival, {"new", result.new_instances},
+                    {"shared", result.shared_instances},
+                    {"first", first_segment},
+                    {"cap_violations", result.cap_violations});
   return result;
 }
 
@@ -313,10 +358,10 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
     const Slot lo = arrival + 1;
     const Slot hi = arrival + periods_[static_cast<size_t>(j - 1)];
     const uint64_t width = static_cast<uint64_t>(hi - lo + 1);
-    total_slot_probes_ += width;
+    c_probes_->inc(width);
 
     Slot chosen = 0;
-    total_work_units_ += kWorkShareProbe;
+    c_work_->inc(kWorkShareProbe);
     if (std::optional<Slot> shared = schedule_.find_instance(j, lo, hi)) {
       chosen = *shared;
       ++result.shared_instances;
@@ -324,11 +369,11 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
       // Min-load-latest over slots still under the channel cap, counting
       // this request's own tentative placements.
       if (fast) {
-        total_work_units_ += kWorkIndexQuery;
+        c_work_->inc(kWorkIndexQuery);
         const SlotSchedule::MinLoad m = schedule_.min_load_latest(lo, hi);
         if (m.load < channel_cap) chosen = m.slot;
       } else {
-        total_work_units_ += width;
+        c_work_->inc(width);
         int best_load = channel_cap;
         for (Slot s = hi; s >= lo; --s) {
           const int load =
@@ -345,7 +390,9 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
         // (admitted + rejected)) instead of silently skewing the
         // per-admission cost metric.
         if (fast) schedule_.clear_load_overlay();
-        ++total_rejected_admissions_;
+        c_rejected_->inc();
+        VOD_TRACE_INSTANT("admission/rejected", "dhb", arrival,
+                          {"segment", j}, {"channel_cap", channel_cap});
         return std::nullopt;
       }
       if (fast) {
@@ -355,7 +402,7 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
       }
       placements_.push_back({j, chosen});
       ++result.new_instances;
-      total_work_units_ += kWorkCommit;
+      c_work_->inc(kWorkCommit);
     }
     result.plan.reception_slot[static_cast<size_t>(j - 1)] = chosen;
   }
@@ -366,15 +413,24 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
   for (const auto& [segment, slot] : placements_) {
     schedule_.add_instance(segment, slot);
   }
-  ++total_requests_;
-  total_new_instances_ += static_cast<uint64_t>(result.new_instances);
-  total_shared_ += static_cast<uint64_t>(result.shared_instances);
+  c_requests_->inc();
+  c_new_->inc(static_cast<uint64_t>(result.new_instances));
+  c_shared_->inc(static_cast<uint64_t>(result.shared_instances));
+  (result.new_instances > 0 ? c_adm_placed_ : c_adm_all_shared_)->inc();
+  VOD_TRACE_INSTANT(result.new_instances > 0 ? "admission/placed"
+                                             : "admission/shared",
+                    "dhb", arrival, {"new", result.new_instances},
+                    {"shared", result.shared_instances},
+                    {"channel_cap", channel_cap}, {"cap_violations", 0});
   return result;
 }
 
 std::vector<Segment> DhbScheduler::advance_slot() {
   memo_valid_ = false;  // plans are per-arrival-slot; the clock moved
   std::vector<Segment> out = schedule_.advance();
+  // Per-slot server bandwidth in streams: a Chrome counter track that
+  // renders the paper's Figure 7/8 load curves directly in the trace UI.
+  VOD_TRACE_COUNTER("streams", "dhb", schedule_.now(), out.size());
 #ifdef VOD_AUDIT
   // Self-checking builds (cmake -DVOD_AUDIT=ON): deep-audit the schedule
   // invariants after every slot; abort with a violation report on failure.

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/heuristics.h"
+#include "obs/metrics.h"
 #include "schedule/client_plan.h"
 #include "schedule/slot_schedule.h"
 #include "schedule/types.h"
@@ -134,18 +135,20 @@ class DhbScheduler {
   // ≤1-instance sharing check for this scheduler's lifetime.
   bool had_clamped_admissions() const { return had_clamped_admissions_; }
 
-  // Lifetime counters (for the scheduling-cost analysis of §3).
+  // Lifetime counters (for the scheduling-cost analysis of §3). The
+  // counters live in an obs::MetricShard owned by this scheduler — the
+  // accessors below are thin views over registry handles, so the same
+  // numbers flow unchanged into the Prometheus / JSONL exporters via
+  // metrics() without a second accounting path.
   // total_requests() counts admissions only; a bounded admission that was
   // refused shows up in total_rejected_admissions() instead, so the §3
   // probes-per-attempt metric is
   // total_slot_probes() / (total_requests() + total_rejected_admissions()).
-  uint64_t total_requests() const { return total_requests_; }
-  uint64_t total_new_instances() const { return total_new_instances_; }
-  uint64_t total_shared() const { return total_shared_; }
-  uint64_t total_slot_probes() const { return total_slot_probes_; }
-  uint64_t total_rejected_admissions() const {
-    return total_rejected_admissions_;
-  }
+  uint64_t total_requests() const { return c_requests_->value(); }
+  uint64_t total_new_instances() const { return c_new_->value(); }
+  uint64_t total_shared() const { return c_shared_->value(); }
+  uint64_t total_slot_probes() const { return c_probes_->value(); }
+  uint64_t total_rejected_admissions() const { return c_rejected_->value(); }
 
   // Actual data-structure operations performed, as opposed to the logical
   // slot probes above: 1 per sharing check, plus a placement-attempt charge
@@ -154,11 +157,22 @@ class DhbScheduler {
   // coalesced follower (the memo copy). ScheduleAuditor asserts the
   // conservation law
   //   work_units >= requests + 2 * new_instances + rejected.
-  uint64_t total_work_units() const { return total_work_units_; }
+  uint64_t total_work_units() const { return c_work_->value(); }
 
   // Requests answered from the same-slot plan memo without touching the
   // schedule (always 0 when coalesce_same_slot is off).
-  uint64_t total_coalesced_requests() const { return total_coalesced_; }
+  uint64_t total_coalesced_requests() const { return c_coalesced_->value(); }
+
+  // The scheduler's metric shard: the counters above under their exported
+  // names (dhb_requests_total, dhb_work_units_total, ...) plus admission-
+  // outcome tallies and, refreshed on access, schedule_* structural-op
+  // counters sampled from the SlotSchedule/LoadIndex fast path.
+  const obs::MetricShard& metrics() const;
+
+  // Folds this scheduler's shard into `out` (counters add) — how the
+  // multi-video engine aggregates per-video schedulers into its per-shard
+  // registry shards.
+  void export_metrics(obs::MetricShard* out) const;
 
  private:
   // Slot choice restricted to slots where the client still has reception
@@ -176,13 +190,22 @@ class DhbScheduler {
   uint64_t sum_periods_;      // sum_j T[j]: the probe charge of one request
   SlotSchedule schedule_;
   Rng rng_;
-  uint64_t total_requests_ = 0;
-  uint64_t total_new_instances_ = 0;
-  uint64_t total_shared_ = 0;
-  uint64_t total_slot_probes_ = 0;
-  uint64_t total_rejected_admissions_ = 0;
-  uint64_t total_work_units_ = 0;
-  uint64_t total_coalesced_ = 0;
+
+  // Counter storage + cached stable handles (see metrics()). The handles
+  // keep the hot-path cost at one pointer indirection per bump; the names
+  // are resolved once in the constructor.
+  mutable obs::MetricShard metrics_;  // mutable: metrics() refreshes the
+                                      // schedule_* samples on access
+  obs::Counter* c_requests_;
+  obs::Counter* c_new_;
+  obs::Counter* c_shared_;
+  obs::Counter* c_probes_;
+  obs::Counter* c_rejected_;
+  obs::Counter* c_work_;
+  obs::Counter* c_coalesced_;
+  obs::Counter* c_adm_placed_;      // admissions that placed >= 1 instance
+  obs::Counter* c_adm_all_shared_;  // admissions sharing every segment
+  obs::Counter* c_cap_violations_;  // client-cap violation slots
   bool had_clamped_admissions_ = false;
 
   // Same-slot coalescing memo: once a full request has been admitted in the

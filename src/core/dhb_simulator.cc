@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace vod {
@@ -96,6 +97,14 @@ SlottedSimResult run_dhb_simulation(const DhbConfig& dhb,
         static_cast<double>(measured_shared) /
         static_cast<double>(measured_new + measured_shared);
   }
+  // Snapshot the run's accounting into the ambient sink (when the caller —
+  // vodsim, a test, a bench — installed one): the scheduler's dhb_* and
+  // schedule_* counters plus the meter's bandwidth_streams histogram.
+  if (obs::ObsSink* sink = obs::current_sink();
+      sink != nullptr && sink->metrics != nullptr) {
+    scheduler.export_metrics(sink->metrics);
+    meter.export_metrics(sink->metrics);
+  }
   return result;
 }
 
@@ -175,6 +184,11 @@ BoundedSimResult run_bounded_dhb_simulation(const DhbConfig& dhb,
   if (result.requests > 0) {
     result.avg_extra_wait_slots =
         static_cast<double>(total_wait) / static_cast<double>(result.requests);
+  }
+  if (obs::ObsSink* sink = obs::current_sink();
+      sink != nullptr && sink->metrics != nullptr) {
+    scheduler.export_metrics(sink->metrics);
+    meter.export_metrics(sink->metrics);
   }
   return result;
 }

@@ -1,0 +1,229 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+namespace vod::obs {
+namespace {
+
+// Chrome's trace viewer expects microsecond timestamps. One slot renders
+// as one millisecond so a Perfetto timeline reads directly in slots.
+constexpr int64_t kUsPerSlot = 1000;
+constexpr int kSlotPid = 1;
+constexpr int kWallPid = 2;
+
+void append_json_string(std::string* out, const char* s) {
+  out->push_back('"');
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n),
+                                               sizeof(buf) - 1));
+}
+
+void append_event(std::string* out, const TraceEvent& e, bool* first) {
+  if (!*first) *out += ",\n";
+  *first = false;
+  *out += "  {\"name\":";
+  append_json_string(out, e.name);
+  *out += ",\"cat\":";
+  append_json_string(out, e.category[0] != '\0' ? e.category : "vod");
+  const bool wall = e.clock == TraceClock::kWall;
+  const char* ph = e.phase == TracePhase::kComplete ? "X"
+                   : e.phase == TracePhase::kCounter ? "C"
+                                                     : "i";
+  appendf(out, ",\"ph\":\"%s\"", ph);
+  if (wall) {
+    appendf(out, ",\"ts\":%.3f", static_cast<double>(e.ts) / 1000.0);
+    if (e.phase == TracePhase::kComplete) {
+      appendf(out, ",\"dur\":%.3f", static_cast<double>(e.dur) / 1000.0);
+    }
+  } else {
+    appendf(out, ",\"ts\":%" PRId64, e.ts * kUsPerSlot);
+    if (e.phase == TracePhase::kComplete) {
+      appendf(out, ",\"dur\":%" PRId64, e.dur * kUsPerSlot);
+    }
+  }
+  appendf(out, ",\"pid\":%d,\"tid\":%u", wall ? kWallPid : kSlotPid, e.track);
+  if (e.phase == TracePhase::kInstant) *out += ",\"s\":\"t\"";
+  if (e.num_args > 0) {
+    *out += ",\"args\":{";
+    for (uint32_t i = 0; i < e.num_args; ++i) {
+      if (i > 0) *out += ",";
+      append_json_string(out, e.args[i].key);
+      appendf(out, ":%" PRId64, e.args[i].value);
+    }
+    *out += "}";
+  }
+  *out += "}";
+}
+
+void append_process_metadata(std::string* out, int pid, const char* name,
+                             bool* first) {
+  if (!*first) *out += ",\n";
+  *first = false;
+  appendf(out, "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,", pid);
+  *out += "\"args\":{\"name\":";
+  append_json_string(out, name);
+  *out += "}}";
+}
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*, conventionally
+// prefixed with the subsystem name.
+std::string prom_name(const std::string& name) {
+  std::string out = name.rfind("vod_", 0) == 0 ? "" : "vod_";
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+bool write_string(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(
+    const std::vector<const TraceBuffer*>& buffers) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  append_process_metadata(&out, kSlotPid, "slot time (1 slot = 1 ms)", &first);
+  append_process_metadata(&out, kWallPid, "wall clock", &first);
+  uint64_t dropped = 0;
+  for (const TraceBuffer* buffer : buffers) {
+    if (buffer == nullptr) continue;
+    dropped += buffer->dropped();
+    for (const TraceEvent& e : buffer->snapshot()) {
+      append_event(&out, e, &first);
+    }
+  }
+  out += "\n],\n\"displayTimeUnit\":\"ms\",\n";
+  appendf(&out, "\"otherData\":{\"droppedEvents\":\"%" PRIu64 "\"}}\n",
+          dropped);
+  return out;
+}
+
+std::string prometheus_text(const MetricShard& metrics) {
+  std::string out;
+  for (const auto& [name, counter] : metrics.counters()) {
+    const std::string n = prom_name(name);
+    appendf(&out, "# TYPE %s counter\n", n.c_str());
+    appendf(&out, "%s %" PRIu64 "\n", n.c_str(), counter.value());
+  }
+  for (const auto& [name, gauge] : metrics.gauges()) {
+    const std::string n = prom_name(name);
+    appendf(&out, "# TYPE %s gauge\n", n.c_str());
+    appendf(&out, "%s %.10g\n", n.c_str(), gauge.value());
+  }
+  for (const auto& [name, hist] : metrics.histograms()) {
+    const std::string n = prom_name(name);
+    const Histogram& h = hist.histogram();
+    appendf(&out, "# TYPE %s histogram\n", n.c_str());
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.bins().size(); ++i) {
+      cum += h.bins()[i];
+      const double le = h.lo() + h.bin_width() * static_cast<double>(i + 1);
+      appendf(&out, "%s_bucket{le=\"%.10g\"} %" PRIu64 "\n", n.c_str(), le,
+              cum);
+    }
+    appendf(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", n.c_str(),
+            hist.count());
+    appendf(&out, "%s_sum %.10g\n", n.c_str(), hist.sum());
+    appendf(&out, "%s_count %" PRIu64 "\n", n.c_str(), hist.count());
+  }
+  return out;
+}
+
+std::string metrics_jsonl(const MetricShard& metrics) {
+  std::string out;
+  for (const auto& [name, counter] : metrics.counters()) {
+    out += "{\"kind\":\"counter\",\"name\":";
+    append_json_string(&out, name.c_str());
+    appendf(&out, ",\"value\":%" PRIu64 "}\n", counter.value());
+  }
+  for (const auto& [name, gauge] : metrics.gauges()) {
+    out += "{\"kind\":\"gauge\",\"name\":";
+    append_json_string(&out, name.c_str());
+    appendf(&out, ",\"value\":%.10g}\n", gauge.value());
+  }
+  for (const auto& [name, hist] : metrics.histograms()) {
+    out += "{\"kind\":\"histogram\",\"name\":";
+    append_json_string(&out, name.c_str());
+    const Histogram& h = hist.histogram();
+    appendf(&out, ",\"count\":%" PRIu64 ",\"sum\":%.10g,\"lo\":%.10g,"
+                  "\"bin_width\":%.10g,\"bins\":[",
+            hist.count(), hist.sum(), h.lo(), h.bin_width());
+    for (size_t i = 0; i < h.bins().size(); ++i) {
+      appendf(&out, "%s%" PRIu64, i > 0 ? "," : "", h.bins()[i]);
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<const TraceBuffer*>& buffers) {
+  return write_string(path, chrome_trace_json(buffers));
+}
+
+bool write_prometheus(const std::string& path, const MetricShard& metrics) {
+  return write_string(path, prometheus_text(metrics));
+}
+
+bool write_metrics_jsonl(const std::string& path,
+                         const MetricShard& metrics) {
+  return write_string(path, metrics_jsonl(metrics));
+}
+
+}  // namespace vod::obs

@@ -1,0 +1,43 @@
+// Exporters for the instrumentation layer.
+//
+// Three formats, each with a string builder (unit-testable) and a file
+// writer:
+//   * Chrome trace-event JSON — loadable in chrome://tracing and Perfetto.
+//     Slot-domain events land on pid 1 ("slot time", 1 slot rendered as
+//     1 ms so the timeline reads in slots); wall-domain profiling spans
+//     land on pid 2 ("wall clock", real microseconds). The tid is the
+//     event's track (the engine stamps video ranks).
+//   * Prometheus text exposition — counters, gauges, and histograms in the
+//     standard format (# TYPE comments, cumulative le buckets, _sum and
+//     _count series). Names are sanitized to [a-zA-Z0-9_:] and prefixed
+//     "vod_" unless they already carry it.
+//   * JSONL snapshots — one self-describing JSON object per metric per
+//     line; the format downstream notebooks diff across runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vod::obs {
+
+// Chrome trace-event JSON for the given buffers (e.g. one per engine
+// shard), events merged in buffer order.
+std::string chrome_trace_json(const std::vector<const TraceBuffer*>& buffers);
+
+// Prometheus text exposition of one (merged) shard.
+std::string prometheus_text(const MetricShard& metrics);
+
+// JSONL snapshot of one (merged) shard.
+std::string metrics_jsonl(const MetricShard& metrics);
+
+// File writers for the above; false (with a stderr note) when the path
+// cannot be opened.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<const TraceBuffer*>& buffers);
+bool write_prometheus(const std::string& path, const MetricShard& metrics);
+bool write_metrics_jsonl(const std::string& path, const MetricShard& metrics);
+
+}  // namespace vod::obs

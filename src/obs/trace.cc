@@ -1,0 +1,143 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/check.h"
+
+namespace vod::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+thread_local ObsSink* t_current_sink = nullptr;
+
+}  // namespace
+
+int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - process_epoch())
+      .count();
+}
+
+TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity) {
+  VOD_CHECK_MSG(capacity >= 1, "trace buffer needs capacity >= 1");
+  ring_.reserve(std::min<size_t>(capacity, 4096));
+}
+
+void TraceBuffer::emit(const TraceEvent& event) {
+  ++emitted_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  // Full: keep the most recent `capacity_` events, oldest overwritten.
+  ring_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest retained event once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+ObsSink* current_sink() { return t_current_sink; }
+
+ScopedObsSink::ScopedObsSink(ObsSink* sink) : previous_(t_current_sink) {
+  t_current_sink = sink;
+}
+
+ScopedObsSink::~ScopedObsSink() { t_current_sink = previous_; }
+
+void emit_instant(TraceBuffer* trace, const char* name, const char* category,
+                  int64_t slot, std::initializer_list<TraceArg> args) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = TracePhase::kInstant;
+  e.clock = TraceClock::kSlot;
+  e.ts = slot;
+  e.track = trace->track();
+  for (const TraceArg& a : args) {
+    if (e.num_args == TraceEvent::kMaxArgs) break;
+    e.args[e.num_args++] = a;
+  }
+  trace->emit(e);
+}
+
+void emit_counter(TraceBuffer* trace, const char* name, const char* category,
+                  int64_t slot, int64_t value) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = TracePhase::kCounter;
+  e.clock = TraceClock::kSlot;
+  e.ts = slot;
+  e.track = trace->track();
+  e.num_args = 1;
+  e.args[0] = TraceArg{"value", value};
+  trace->emit(e);
+}
+
+WallSpan::WallSpan(const char* name, const char* category)
+    : trace_(nullptr), name_(name), category_(category) {
+  if (ObsSink* sink = current_sink()) {
+    if (sink->trace != nullptr) {
+      trace_ = sink->trace;
+      start_ns_ = wall_now_ns();
+    }
+  }
+}
+
+WallSpan::~WallSpan() {
+  if (trace_ == nullptr) return;
+  TraceEvent e;
+  e.name = name_;
+  e.category = category_;
+  e.phase = TracePhase::kComplete;
+  e.clock = TraceClock::kWall;
+  e.ts = start_ns_;
+  e.dur = wall_now_ns() - start_ns_;
+  e.track = trace_->track();
+  trace_->emit(e);
+}
+
+void EngineObserver::prepare(size_t num_shards) {
+  registry_.prepare(num_shards);
+  while (traces_.size() < num_shards) {
+    traces_.push_back(
+        std::make_unique<TraceBuffer>(options_.trace_capacity_per_shard));
+  }
+}
+
+ObsSink EngineObserver::sink(size_t shard) {
+  VOD_CHECK_MSG(shard < traces_.size(),
+                "EngineObserver::prepare() must cover every shard");
+  return ObsSink{&registry_.shard(shard), traces_[shard].get()};
+}
+
+TraceBuffer& EngineObserver::trace(size_t shard) {
+  VOD_CHECK_MSG(shard < traces_.size(),
+                "EngineObserver::prepare() must cover every shard");
+  return *traces_[shard];
+}
+
+std::vector<const TraceBuffer*> EngineObserver::trace_buffers() const {
+  std::vector<const TraceBuffer*> out;
+  out.reserve(traces_.size());
+  for (const auto& t : traces_) out.push_back(t.get());
+  return out;
+}
+
+}  // namespace vod::obs

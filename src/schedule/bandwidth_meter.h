@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "sim/batch_means.h"
 #include "sim/stats.h"
 #include "sim/timeseries.h"
@@ -40,9 +41,26 @@ class BandwidthMeter {
     return max_streams() * stream_kbs / 1000.0;
   }
 
+  // Per-slot stream distribution over the measured (post-warmup) window,
+  // at one-stream resolution up to kHistogramMax (heavier slots clamp into
+  // the top bin). The tail quantiles the mean/CI summary cannot show —
+  // e.g. the p99 provisioning headroom of EXPERIMENTS.md.
+  double p50_streams() const { return histogram_.quantile(0.50); }
+  double p95_streams() const { return histogram_.quantile(0.95); }
+  double p99_streams() const { return histogram_.quantile(0.99); }
+  const Histogram& stream_histogram() const { return histogram_; }
+
+  // Snapshots the meter into `out` as the bandwidth_streams histogram plus
+  // bandwidth_slots_measured_total (exporter input; call when done).
+  void export_metrics(obs::MetricShard* out) const;
+
+  // One bin per stream count keeps Prometheus le-bucket edges integral.
+  static constexpr double kHistogramMax = 512.0;
+
  private:
   SlotSeries series_;
   BatchMeans batches_;
+  Histogram histogram_{0.0, kHistogramMax, static_cast<size_t>(kHistogramMax)};
   uint64_t warmup_;
   uint64_t seen_ = 0;
 };

@@ -22,6 +22,7 @@ LoadIndex::LoadIndex(size_t ring_size) : ring_size_(ring_size) {
 
 void LoadIndex::add(size_t pos, int delta) {
   VOD_DCHECK(pos < ring_size_);
+  ++updates_;
   size_t node = leaves_ + pos;
   tree_[node] += delta;
   for (node >>= 1; node >= 1; node >>= 1) {
@@ -69,6 +70,7 @@ size_t LoadIndex::leftmost_min(size_t node, size_t node_lo, size_t node_hi,
 
 LoadIndex::MinResult LoadIndex::min_latest(size_t a, size_t b) const {
   VOD_DCHECK(a <= b && b < ring_size_);
+  ++queries_;
   const int m = min_in(a, b);
   const size_t pos = rightmost_min(1, 0, leaves_ - 1, a, b, m);
   VOD_DCHECK(pos < ring_size_);
@@ -77,6 +79,7 @@ LoadIndex::MinResult LoadIndex::min_latest(size_t a, size_t b) const {
 
 LoadIndex::MinResult LoadIndex::min_earliest(size_t a, size_t b) const {
   VOD_DCHECK(a <= b && b < ring_size_);
+  ++queries_;
   const int m = min_in(a, b);
   const size_t pos = leftmost_min(1, 0, leaves_ - 1, a, b, m);
   VOD_DCHECK(pos < ring_size_);

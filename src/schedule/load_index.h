@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace vod {
@@ -50,6 +51,12 @@ class LoadIndex {
   MinResult min_latest(size_t a, size_t b) const;
   MinResult min_earliest(size_t a, size_t b) const;
 
+  // Lifetime operation accounting for the observability layer: range-min
+  // queries answered and point updates applied. Exported by the scheduler
+  // as schedule_index_* counters; never read on a decision path.
+  uint64_t total_queries() const { return queries_; }
+  uint64_t total_updates() const { return updates_; }
+
  private:
   int min_in(size_t a, size_t b) const;
   // Rightmost / leftmost position in [a, b] whose value equals m, searched
@@ -63,6 +70,8 @@ class LoadIndex {
   size_t ring_size_;
   size_t leaves_;          // smallest power of two >= ring_size_
   std::vector<int> tree_;  // 1-based heap layout; leaf p at leaves_ + p
+  mutable uint64_t queries_ = 0;  // op metering only (const query paths)
+  uint64_t updates_ = 0;
 };
 
 }  // namespace vod

@@ -73,6 +73,7 @@ void SlotSchedule::add_instance(Segment j, Slot s) {
   const size_t idx = ring_index(s);
   ++loads_[idx];
   ++total_;
+  ++instances_added_;
   index_.add(idx, 1);
   contents_[idx].push_back(j);
   std::vector<Slot>& slots = per_segment_[static_cast<size_t>(j)];
@@ -83,6 +84,7 @@ void SlotSchedule::add_instance(Segment j, Slot s) {
 
 std::vector<Segment> SlotSchedule::advance() {
   VOD_DCHECK(overlay_.empty());  // no advance() with a live load overlay
+  ++advances_;
   ++now_;
   const size_t idx = ring_index(now_);
   std::vector<Segment> out = std::move(contents_[idx]);
@@ -142,6 +144,7 @@ void SlotSchedule::add_load_overlay(Slot s, int delta) {
   const size_t pos = ring_index(s);
   index_.add(pos, delta);
   overlay_.emplace_back(pos, delta);
+  ++overlay_ops_;
 }
 
 void SlotSchedule::clear_load_overlay() {

@@ -107,6 +107,15 @@ class SlotSchedule {
 
   bool has_load_overlay() const { return !overlay_.empty(); }
 
+  // --- Lifetime operation accounting (observability) -------------------
+  // Raw structural-op counts the scheduler exports as schedule_* metrics.
+  // Monotone over the schedule's lifetime; never read on a decision path.
+  uint64_t total_instances_added() const { return instances_added_; }
+  uint64_t total_advances() const { return advances_; }
+  uint64_t total_overlay_ops() const { return overlay_ops_; }
+  uint64_t total_index_queries() const { return index_.total_queries(); }
+  uint64_t total_index_updates() const { return index_.total_updates(); }
+
  private:
   // Test-only backdoor (tests/schedule_auditor_test.cc) used to inject
   // corruptions and prove the ScheduleAuditor non-vacuous.
@@ -124,6 +133,9 @@ class SlotSchedule {
   std::vector<Slot> latest_;                    // [segment] -> latest slot, 0 none
   LoadIndex index_;                             // range-min over loads_ + overlay
   std::vector<std::pair<size_t, int>> overlay_;  // applied (pos, delta) pairs
+  uint64_t instances_added_ = 0;                 // lifetime op meters
+  uint64_t advances_ = 0;
+  uint64_t overlay_ops_ = 0;
 };
 
 }  // namespace vod

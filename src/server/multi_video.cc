@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 
+#include "obs/trace.h"
 #include "protocols/npb.h"
 #include "sim/arrival_process.h"
 #include "sim/stats.h"
@@ -46,6 +48,20 @@ struct ShardResult {
 // state and the outcome does not depend on which worker runs the shard.
 void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
                     int first_rank, int last_rank, ShardResult* out) {
+  // Wall-domain span over the whole kernel: in a Perfetto timeline the
+  // per-shard spans show the Zipf load imbalance the shard schedule hides.
+  VOD_TRACE_WALL_SPAN("shard_kernel", "engine");
+  // Explicit (non-macro) metric writes below go through the ambient sink's
+  // shard, so they also work in VOD_OBSERVE=OFF builds. Handles are
+  // resolved once per kernel; null when no observer is attached.
+  obs::ObsSink* obs_sink = obs::current_sink();
+  obs::MetricShard* metrics =
+      obs_sink != nullptr ? obs_sink->metrics : nullptr;
+  obs::HistogramMetric* h_batch =
+      metrics != nullptr
+          ? metrics->histogram("engine_batch_requests", 0.0, 64.0, 64)
+          : nullptr;
+
   const MultiVideoConfig& config = *plan.config;
   const double d = config.slot_duration_s;
   const uint64_t measured =
@@ -78,6 +94,7 @@ void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
         plan.rate_per_s * zipf.probability(v),
         base.fork(static_cast<uint64_t>(v) + 1));
     double next_arrival = arrivals.next();
+    uint64_t idle_slots = 0;
 
     for (uint64_t step = 1; step <= plan.total_slots; ++step) {
       int streams;
@@ -89,6 +106,7 @@ void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
         // ring rotation — and the VOD_AUDIT deep audit — entirely. Deep
         // in a Zipf tail this is the common case.
         streams = 0;
+        ++idle_slots;
       } else {
         streams = static_cast<int>(scheduler->advance_slot().size());
       }
@@ -114,8 +132,26 @@ void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
       if (batch > 0) {
         if (scheduler) scheduler->on_request_batch(batch);
         if (step > plan.warmup_slots) out->video_requests[local] += batch;
+        if (h_batch != nullptr) {
+          h_batch->observe(static_cast<double>(batch));
+        }
       }
     }
+
+    if (metrics != nullptr) {
+      metrics->counter("engine_videos_total")->inc();
+      metrics->counter("engine_idle_slots_total")->inc(idle_slots);
+      metrics->counter("engine_requests_total")
+          ->inc(out->video_requests[local]);
+      // Fold the per-video scheduler's dhb_* counters into this shard so
+      // the catalog-wide totals survive the scheduler's destruction.
+      if (scheduler) scheduler->export_metrics(metrics);
+    }
+    VOD_TRACE_INSTANT("video/done", "engine",
+                      static_cast<int64_t>(plan.total_slots), {"rank", v},
+                      {"requests",
+                       static_cast<int64_t>(out->video_requests[local])},
+                      {"idle_slots", static_cast<int64_t>(idle_slots)});
   }
 }
 
@@ -183,7 +219,23 @@ MultiVideoResult run_multi_video_simulation(const MultiVideoConfig& config) {
 
   const int num_shards = (V + kShardSize - 1) / kShardSize;
   std::vector<ShardResult> shards(static_cast<size_t>(num_shards));
+  if (config.observer != nullptr) {
+    // One metric shard + trace ring per catalog shard, created up front by
+    // this thread; workers then write disjoint shards only.
+    config.observer->prepare(static_cast<size_t>(num_shards));
+  }
   auto run_shard = [&](int s) {
+    // Install this shard's sink on whichever worker runs it; trace events
+    // carry the shard id as their track so per-shard timelines separate.
+    obs::ObsSink sink;
+    std::optional<obs::ScopedObsSink> scoped;
+    if (config.observer != nullptr) {
+      sink = config.observer->sink(static_cast<size_t>(s));
+      if (sink.trace != nullptr) {
+        sink.trace->set_track(static_cast<uint32_t>(s));
+      }
+      scoped.emplace(&sink);
+    }
     const int first = s * kShardSize;
     const int last = std::min(V, first + kShardSize);
     simulate_shard(plan, zipf, first, last,

@@ -36,6 +36,10 @@
 #include "core/dhb.h"
 #include "sim/zipf.h"
 
+namespace vod::obs {
+class EngineObserver;
+}  // namespace vod::obs
+
 namespace vod {
 
 enum class VideoPolicy { kDhb, kStatic, kHybrid };
@@ -73,6 +77,14 @@ struct MultiVideoConfig {
   // differential testing and baseline benchmarks only — results are
   // bit-identical either way, at any thread count.
   bool fast_admission = true;
+
+  // Optional instrumentation (obs/trace.h). When set, the engine prepares
+  // one metric shard + trace ring per catalog shard, installs the matching
+  // ObsSink on whichever worker runs the shard, and folds every per-video
+  // scheduler's dhb_* counters into its shard — so the observer's merged
+  // view is bit-identical at any num_threads. Never read by the
+  // simulation: results are unchanged whether an observer is attached.
+  obs::EngineObserver* observer = nullptr;
 
   uint64_t seed = 42;
 };

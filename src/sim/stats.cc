@@ -72,7 +72,9 @@ Histogram::Histogram(double lo, double hi, size_t bins)
   VOD_CHECK(bins > 0);
 }
 
-void Histogram::add(double x) {
+void Histogram::add(double x) { add_n(x, 1); }
+
+void Histogram::add_n(double x, uint64_t n) {
   double idx = (x - lo_) / width_;
   size_t i = 0;
   if (idx >= static_cast<double>(bins_.size())) {
@@ -80,13 +82,20 @@ void Histogram::add(double x) {
   } else if (idx > 0.0) {
     i = static_cast<size_t>(idx);
   }
-  ++bins_[i];
-  ++total_;
+  bins_[i] += n;
+  total_ += n;
 }
 
 double Histogram::quantile(double q) const {
   VOD_CHECK(q >= 0.0 && q <= 1.0);
   if (total_ == 0) return lo_;
+  if (q == 0.0) {
+    // The minimum sample's bin floor: with target = 0 the cumulative walk
+    // below would stop at bin 0 even when it is empty.
+    for (size_t i = 0; i < bins_.size(); ++i) {
+      if (bins_[i] > 0) return lo_ + width_ * static_cast<double>(i);
+    }
+  }
   const double target = q * static_cast<double>(total_);
   double cum = 0.0;
   for (size_t i = 0; i < bins_.size(); ++i) {
@@ -94,6 +103,14 @@ double Histogram::quantile(double q) const {
     if (cum >= target) return lo_ + width_ * static_cast<double>(i + 1);
   }
   return hi_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  VOD_CHECK_MSG(lo_ == other.lo_ && hi_ == other.hi_ &&
+                    bins_.size() == other.bins_.size(),
+                "histogram merge requires identical (lo, hi, bins) specs");
+  for (size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  total_ += other.total_;
 }
 
 }  // namespace vod

@@ -71,13 +71,23 @@ class Histogram {
   Histogram(double lo, double hi, size_t bins);
 
   void add(double x);
+  void add_n(double x, uint64_t n);
   uint64_t count() const { return total_; }
   // Smallest value v such that at least `q` fraction of samples are <= v
-  // (bin upper edge; exact to bin resolution).
+  // (bin upper edge; exact to bin resolution). Edge semantics are defined:
+  // an empty histogram returns lo() for every q; q = 0.0 returns the lower
+  // edge of the first occupied bin (the minimum sample's bin floor);
+  // q = 1.0 returns the upper edge of the last occupied bin.
   double quantile(double q) const;
   const std::vector<uint64_t>& bins() const { return bins_; }
   double bin_width() const { return width_; }
   double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  // Adds another histogram's counts bin by bin. Both histograms must share
+  // the exact (lo, hi, bins) spec — this is the merge point for per-thread
+  // metric shards.
+  void merge(const Histogram& other);
 
  private:
   double lo_, hi_, width_;

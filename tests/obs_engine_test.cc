@@ -1,0 +1,112 @@
+// The engine-level observability contract: attaching an EngineObserver
+// never changes simulation results, and the observer's merged view is
+// bit-identical at any thread count (shards record independently, the
+// merge folds them in ascending shard order).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.h"
+#include "server/multi_video.h"
+
+namespace vod {
+namespace {
+
+MultiVideoConfig engine_config() {
+  MultiVideoConfig config;
+  config.catalog_size = 130;  // 3 shards at kShardSize = 64
+  config.num_segments = 20;
+  config.total_requests_per_hour = 400.0;
+  config.warmup_hours = 1.0;
+  config.measured_hours = 10.0;
+  config.seed = 20010416;
+  return config;
+}
+
+void expect_same_result(const MultiVideoResult& a, const MultiVideoResult& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.measured_slots, b.measured_slots);
+  EXPECT_DOUBLE_EQ(a.avg_streams, b.avg_streams);
+  EXPECT_DOUBLE_EQ(a.max_streams, b.max_streams);
+  EXPECT_EQ(a.per_video_requests, b.per_video_requests);
+}
+
+void expect_same_metrics(const obs::MetricShard& a,
+                         const obs::MetricShard& b) {
+  ASSERT_EQ(a.counters().size(), b.counters().size());
+  for (const auto& [name, counter] : a.counters()) {
+    const obs::Counter* other = b.find_counter(name);
+    ASSERT_NE(other, nullptr) << name;
+    EXPECT_EQ(counter.value(), other->value()) << name;
+  }
+  ASSERT_EQ(a.histograms().size(), b.histograms().size());
+  for (const auto& [name, hist] : a.histograms()) {
+    const obs::HistogramMetric* other = b.find_histogram(name);
+    ASSERT_NE(other, nullptr) << name;
+    EXPECT_EQ(hist.count(), other->count()) << name;
+    EXPECT_EQ(hist.histogram().bins(), other->histogram().bins()) << name;
+  }
+}
+
+TEST(EngineObservability, ObserverDoesNotChangeResults) {
+  MultiVideoConfig bare = engine_config();
+  const MultiVideoResult without = run_multi_video_simulation(bare);
+
+  obs::EngineObserver observer;
+  MultiVideoConfig observed = engine_config();
+  observed.observer = &observer;
+  const MultiVideoResult with = run_multi_video_simulation(observed);
+
+  expect_same_result(without, with);
+  EXPECT_EQ(observer.num_shards(), 3u);
+  const obs::MetricShard merged = observer.merged_metrics();
+  EXPECT_EQ(merged.counter_value("engine_videos_total"), 130u);
+  // Every admitted request receives one instance (new or shared) per
+  // segment of its video.
+  EXPECT_EQ(merged.counter_value("dhb_requests_total") * 20u,
+            merged.counter_value("dhb_new_instances_total") +
+                merged.counter_value("dhb_shared_instances_total"));
+}
+
+TEST(EngineObservability, MergedMetricsBitIdenticalAcrossThreadCounts) {
+  obs::EngineObserver sequential_observer;
+  MultiVideoConfig sequential = engine_config();
+  sequential.num_threads = 1;
+  sequential.observer = &sequential_observer;
+  const MultiVideoResult base = run_multi_video_simulation(sequential);
+  const obs::MetricShard base_metrics = sequential_observer.merged_metrics();
+
+  for (int threads : {2, 4, 8}) {
+    obs::EngineObserver observer;
+    MultiVideoConfig parallel = engine_config();
+    parallel.num_threads = threads;
+    parallel.observer = &observer;
+    const MultiVideoResult result = run_multi_video_simulation(parallel);
+    expect_same_result(base, result);
+    expect_same_metrics(base_metrics, observer.merged_metrics());
+  }
+}
+
+TEST(EngineObservability, PerShardTracesLandOnOwnTracks) {
+  obs::EngineObserver observer;
+  MultiVideoConfig config = engine_config();
+  config.observer = &observer;
+  run_multi_video_simulation(config);
+
+  const std::vector<const obs::TraceBuffer*> buffers =
+      observer.trace_buffers();
+  ASSERT_EQ(buffers.size(), 3u);
+#ifndef VOD_OBSERVE_DISABLED
+  for (size_t s = 0; s < buffers.size(); ++s) {
+    EXPECT_GT(buffers[s]->emitted(), 0u) << s;
+    for (const obs::TraceEvent& e : buffers[s]->snapshot()) {
+      if (e.clock == obs::TraceClock::kWall) continue;  // kernel spans
+      EXPECT_EQ(e.track, static_cast<uint32_t>(s));
+    }
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace vod

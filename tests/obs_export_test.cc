@@ -1,0 +1,119 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vod {
+namespace {
+
+using obs::MetricShard;
+using obs::TraceBuffer;
+using obs::TraceClock;
+using obs::TraceEvent;
+using obs::TracePhase;
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(ChromeTrace, EnvelopeAndClockDomains) {
+  TraceBuffer buffer(16);
+  obs::emit_instant(&buffer, "admission/placed", "dhb", 3, {{"new", 1}});
+  obs::emit_counter(&buffer, "streams", "dhb", 4, 7);
+  TraceEvent wall;
+  wall.name = "shard_kernel";
+  wall.category = "engine";
+  wall.phase = TracePhase::kComplete;
+  wall.clock = TraceClock::kWall;
+  wall.ts = 1500;   // ns -> exported as 1.5 us
+  wall.dur = 2500;
+  buffer.emit(wall);
+
+  const std::string json = obs::chrome_trace_json({&buffer});
+  EXPECT_TRUE(contains(json, "\"traceEvents\":["));
+  EXPECT_TRUE(contains(json, "\"displayTimeUnit\":\"ms\""));
+  // Process metadata names both clock domains.
+  EXPECT_TRUE(contains(json, "\"process_name\""));
+  EXPECT_TRUE(contains(json, "slot time"));
+  EXPECT_TRUE(contains(json, "wall clock"));
+  // Slot events: 1 slot = 1000 us, pid 1, instants carry a scope.
+  EXPECT_TRUE(contains(json, "\"ph\":\"i\",\"ts\":3000,\"pid\":1"));
+  EXPECT_TRUE(contains(json, "\"s\":\"t\""));
+  EXPECT_TRUE(contains(json, "\"args\":{\"new\":1}"));
+  EXPECT_TRUE(contains(json, "\"ph\":\"C\",\"ts\":4000,\"pid\":1"));
+  // Wall events: ns -> us with sub-us precision, pid 2.
+  EXPECT_TRUE(contains(json, "\"ph\":\"X\",\"ts\":1.500,\"dur\":2.500"));
+  EXPECT_TRUE(contains(json, "\"pid\":2"));
+  EXPECT_TRUE(contains(json, "\"droppedEvents\":\"0\""));
+}
+
+TEST(ChromeTrace, MergesBuffersAndCountsDrops) {
+  TraceBuffer a(2), b(2);
+  for (int64_t i = 0; i < 3; ++i) {
+    obs::emit_instant(&a, "a", "t", i, {});
+  }
+  obs::emit_instant(&b, "b", "t", 9, {});
+  const std::string json = obs::chrome_trace_json({&a, nullptr, &b});
+  EXPECT_TRUE(contains(json, "\"droppedEvents\":\"1\""));
+  EXPECT_TRUE(contains(json, "\"name\":\"b\""));
+}
+
+TEST(Prometheus, CounterGaugeHistogramExposition) {
+  MetricShard m;
+  m.counter("dhb_requests_total")->inc(42);
+  m.gauge("engine load%")->set(1.25);  // '%' must be sanitized
+  obs::HistogramMetric* h = m.histogram("lat", 0.0, 4.0, 4);
+  h->observe(0.5);
+  h->observe(2.5);
+  h->observe(2.6);
+
+  const std::string text = obs::prometheus_text(m);
+  EXPECT_TRUE(contains(text, "# TYPE vod_dhb_requests_total counter\n"
+                             "vod_dhb_requests_total 42\n"));
+  EXPECT_TRUE(contains(text, "# TYPE vod_engine_load_ gauge\n"
+                             "vod_engine_load_ 1.25\n"));
+  EXPECT_TRUE(contains(text, "# TYPE vod_lat histogram\n"));
+  // Cumulative buckets over the four [0,4) bins, then the +Inf bucket.
+  EXPECT_TRUE(contains(text, "vod_lat_bucket{le=\"1\"} 1\n"));
+  EXPECT_TRUE(contains(text, "vod_lat_bucket{le=\"2\"} 1\n"));
+  EXPECT_TRUE(contains(text, "vod_lat_bucket{le=\"3\"} 3\n"));
+  EXPECT_TRUE(contains(text, "vod_lat_bucket{le=\"4\"} 3\n"));
+  EXPECT_TRUE(contains(text, "vod_lat_bucket{le=\"+Inf\"} 3\n"));
+  EXPECT_TRUE(contains(text, "vod_lat_sum 5.6\n"));
+  EXPECT_TRUE(contains(text, "vod_lat_count 3\n"));
+}
+
+TEST(Prometheus, KeepsExistingPrefix) {
+  MetricShard m;
+  m.counter("vod_already_total")->inc(1);
+  const std::string text = obs::prometheus_text(m);
+  EXPECT_TRUE(contains(text, "vod_already_total 1\n"));
+  EXPECT_FALSE(contains(text, "vod_vod_"));
+}
+
+TEST(Jsonl, SelfDescribingSnapshotPerLine) {
+  MetricShard m;
+  m.counter("a_total")->inc(2);
+  m.gauge("g")->set(0.5);
+  m.histogram("h", 0.0, 2.0, 2)->observe(0.5);
+
+  const std::string text = obs::metrics_jsonl(m);
+  EXPECT_TRUE(contains(
+      text, "{\"kind\":\"counter\",\"name\":\"a_total\",\"value\":2}\n"));
+  EXPECT_TRUE(contains(text,
+                       "{\"kind\":\"gauge\",\"name\":\"g\",\"value\":0.5}\n"));
+  EXPECT_TRUE(contains(text, "\"kind\":\"histogram\",\"name\":\"h\""));
+  EXPECT_TRUE(contains(text, "\"bins\":[1,0]"));
+  // Exactly one object per line, and nothing else.
+  size_t lines = 0;
+  for (char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 3u);
+}
+
+}  // namespace
+}  // namespace vod

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "vbr/smoothing.h"
 #include "vbr/synthetic.h"
+#include "vbr/trace.h"
 
 namespace vod {
 namespace {
@@ -14,9 +16,33 @@ VbrTrace cbr_trace(int seconds, double kbs) {
   return VbrTrace(std::vector<double>(static_cast<size_t>(seconds), kbs));
 }
 
+// The checked-in Matrix-like VBR trace (tests/data/matrix_trace.csv, the
+// output of examples/compressed_video.cpp). Loaded through the CSV
+// round-trip path so these tests also cover the persistence format; the
+// ...MatchesGenerator test below pins the file to the synthetic generator
+// it was produced by.
 const VbrTrace& matrix_trace() {
-  static const VbrTrace t = generate_synthetic_vbr(SyntheticVbrParams{});
+  static const VbrTrace t = [] {
+    VbrTrace loaded;
+    const std::string path =
+        std::string(VOD_TEST_DATA_DIR) + "/matrix_trace.csv";
+    if (!VbrTrace::load_csv(path, &loaded)) {
+      ADD_FAILURE() << "cannot load " << path;
+      return generate_synthetic_vbr(SyntheticVbrParams{});
+    }
+    return loaded;
+  }();
   return t;
+}
+
+TEST(OptimalSmoothing, MatrixTraceCsvMatchesGenerator) {
+  const VbrTrace generated = generate_synthetic_vbr(SyntheticVbrParams{});
+  ASSERT_EQ(matrix_trace().duration_s(), generated.duration_s());
+  for (int s = 0; s < generated.duration_s(); ++s) {
+    ASSERT_NEAR(matrix_trace().samples()[static_cast<size_t>(s)],
+                generated.samples()[static_cast<size_t>(s)], 1e-6)
+        << "second " << s;
+  }
 }
 
 TEST(OptimalSmoothing, CbrIsOneSegment) {
