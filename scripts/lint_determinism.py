@@ -1,0 +1,537 @@
+#!/usr/bin/env python3
+"""Determinism linter for the DHB codebase.
+
+The library guarantees bit-identical results for a fixed seed at any
+thread count (DESIGN.md §8) — a guarantee that dies the moment a
+result-affecting path reads the wall clock, draws from an unseeded random
+source, or lets hash-table iteration order leak into a returned or
+accumulated value. TSan and the checksum benches catch such leaks at
+runtime, after the fact; this linter bans them statically, so the CI
+`static-analysis` job fails the build instead (DESIGN.md §11).
+
+Rules (ids used in the allowlist and the `// LINT-EXPECT:` markers):
+
+  wall-clock      Wall-clock reads: std::chrono::{system,steady,
+                  high_resolution}_clock, ::time()/clock(), gettimeofday,
+                  clock_gettime. Scanned in ALL of src/. The only
+                  sanctioned use is the kWall trace track in
+                  src/obs/trace.cc (profiling spans that never feed back
+                  into slot time), carried by the committed allowlist.
+
+  raw-random      Raw randomness: std::rand/srand, std::random_device,
+                  and the <random> engines (mt19937, minstd_rand, ...).
+                  Every random draw must flow through util::Rng
+                  (src/sim/random.h), whose xoshiro256** stream is fully
+                  determined by the run seed. Scanned in ALL of src/.
+
+  unordered-iter  Iteration over std::unordered_{map,set,multimap,
+                  multiset} that feeds a returned or accumulated value:
+                  hash-map order is an implementation detail, so a loop
+                  that returns from inside, accumulates into an outer
+                  variable, or appends to an outer container is
+                  order-dependent. Per-element mutation of the container's
+                  own values stays legal. Result-affecting dirs only.
+
+  pointer-key     Pointer-keyed ordered containers (std::map<T*, ...>,
+                  std::set<T*>, std::less<T*>, priority_queue of
+                  pointers): iteration order follows allocation addresses,
+                  which differ run to run. Key by a stable id instead.
+                  Result-affecting dirs only.
+
+Result-affecting dirs: src/core, src/schedule, src/sim, src/server,
+src/protocols, src/vbr (the paths whose outputs land in results).
+
+File discovery: headers are walked from src/; translation units come from
+a compile_commands.json when --build-dir is given (the libclang-free way
+to scan exactly what the build compiles), else from the same walk.
+
+Allowlist: scripts/determinism_allowlist.txt — lines of
+  <rule>  <path-or-glob>  [required-substring]
+Findings matching an entry are suppressed; entries that suppress nothing
+are themselves an error, so the allowlist can only shrink by rot.
+
+Self-test: --self-test runs every rule over scripts/lint_fixtures/
+(one *_flagged.cc + one *_clean.cc per rule). Flagged lines carry a
+trailing `// LINT-EXPECT: <rule>` marker; the scan must reproduce the
+marker set exactly, and clean fixtures must scan clean. CI runs the
+self-test before linting src/.
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import re
+import sys
+
+RESULT_DIRS = ("core", "schedule", "sim", "server", "protocols", "vbr")
+
+WALL_CLOCK_RE = re.compile(
+    r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"
+    r"|\bclock_gettime\b|\bgettimeofday\b"
+    r"|(?<![\w.>:])(?:time|clock)\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+)
+
+RAW_RANDOM_RE = re.compile(
+    r"\bstd::rand\b|\bsrand\b|\brandom_device\b"
+    r"|\bmt19937(?:_64)?\b|\bdefault_random_engine\b|\bminstd_rand0?\b"
+    r"|\branlux(?:24|48)(?:_base)?\b|\bknuth_b\b"
+    r"|(?<![\w.>:])rand\s*\("
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<.*>\s+(\w+)\s*[;={(]"
+)
+
+POINTER_KEY_RES = (
+    # map/multimap whose key type is a pointer
+    re.compile(r"\b(?:unordered_)?(?:map|multimap)\s*<\s*[\w:<> ]*?\*\s*,"),
+    # set/multiset of pointers
+    re.compile(r"\b(?:unordered_)?(?:set|multiset)\s*<\s*[\w:<> ]*?\*\s*[>,]"),
+    # explicit pointer comparator / pointer-ordered heap
+    re.compile(r"\bless\s*<\s*[\w:<> ]*?\*\s*>"),
+    re.compile(r"\bpriority_queue\s*<\s*[\w:<> ]*?\*"),
+)
+
+# Accumulation shapes inside an unordered-container loop body. Root
+# identifier (group 1) is compared against the loop's own variables: a
+# mutation rooted at the loop element is per-element (order-free), one
+# rooted outside accumulates in iteration order.
+COMPOUND_ASSIGN_RE = re.compile(
+    r"\b(\w+)(?:(?:\.|->|\[)[^=<>!+*/|&^-]*?)?\s*"
+    r"(?:\+=|-=|\*=|/=|\|=|&=|\^=|<<=|>>=)"
+)
+PRE_INCDEC_RE = re.compile(r"(?:\+\+|--)\s*(\w+)")
+POST_INCDEC_RE = re.compile(r"\b(\w+)\s*(?:\+\+|--)")
+MUTATING_CALL_RE = re.compile(
+    r"\b(\w+)(?:(?:\.|->)\w+)*(?:\.|->)"
+    r"(?:push_back|emplace_back|push_front|emplace_front|push|insert|"
+    r"emplace|append|add|merge|observe|inc)\s*\("
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;)]*?):([^;]*?)\)", re.DOTALL)
+ITER_FOR_RE = re.compile(r"\bfor\s*\(\s*auto\b[^;]*?=\s*(\w+)\s*\.\s*(?:c?begin)\s*\(")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message, text):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.text = text
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}: " \
+               f"{self.text.strip()}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving newlines and
+    column positions so findings keep their real line numbers."""
+    out = []
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW = range(6)
+    state = NORMAL
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == "R" and nxt == '"':
+                m = re.match(r'R"([^(\s]*)\(', text[i:])
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = RAW
+                    out.append(" " * m.end())
+                    i += m.end()
+                else:
+                    out.append(c)
+                    i += 1
+            elif c == '"':
+                state = STRING
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = CHAR
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == STRING:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = NORMAL
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == CHAR:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = NORMAL
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # RAW
+            if text.startswith(raw_delim, i):
+                state = NORMAL
+                out.append(" " * len(raw_delim))
+                i += len(raw_delim)
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def line_text(lines, lineno):
+    return lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+
+
+def extract_loop_vars(header):
+    """Loop-variable names of a range-for declaration part."""
+    binding = re.search(r"\[([^\]]*)\]", header)
+    if binding:
+        return {v.strip() for v in binding.group(1).split(",") if v.strip()}
+    m = re.search(r"(\w+)\s*$", header.strip())
+    return {m.group(1)} if m else set()
+
+
+def extract_body(text, open_pos):
+    """Statement or block following position `open_pos` (just past the
+    for-header's closing paren). Returns (body, end)."""
+    i = open_pos
+    n = len(text)
+    while i < n and text[i] in " \t\n":
+        i += 1
+    if i >= n:
+        return "", i
+    if text[i] == "{":
+        depth = 0
+        j = i
+        while j < n:
+            if text[j] == "{":
+                depth += 1
+            elif text[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    return text[i : j + 1], j + 1
+            j += 1
+        return text[i:], n
+    j = text.find(";", i)
+    if j == -1:
+        return text[i:], n
+    return text[i : j + 1], j + 1
+
+
+def find_matching_paren(text, open_pos):
+    depth = 0
+    for j in range(open_pos, len(text)):
+        if text[j] == "(":
+            depth += 1
+        elif text[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
+def order_dependent_sinks(body, loop_vars):
+    """True when the loop body feeds a returned or accumulated value that
+    is not rooted at the loop element (order-dependent accumulation)."""
+    if re.search(r"\breturn\b", body):
+        return "returns from inside the loop"
+    for regex in (COMPOUND_ASSIGN_RE, PRE_INCDEC_RE, POST_INCDEC_RE,
+                  MUTATING_CALL_RE):
+        for m in regex.finditer(body):
+            root = m.group(1)
+            if root not in loop_vars:
+                return f"accumulates into '{root}' outside the loop element"
+    return None
+
+
+def scan_unordered_iteration(path, stripped, lines, unordered_names):
+    findings = []
+    for m in RANGE_FOR_RE.finditer(stripped):
+        container = m.group(2).strip()
+        root = re.match(r"(\w+)", container)
+        if not root or root.group(1) not in unordered_names:
+            continue
+        loop_vars = extract_loop_vars(m.group(1))
+        close = find_matching_paren(stripped, m.start() + len("for"))
+        body, _ = extract_body(stripped, (close + 1) if close != -1 else m.end())
+        why = order_dependent_sinks(body, loop_vars)
+        if why:
+            lineno = line_of(stripped, m.start())
+            findings.append(Finding(
+                path, lineno, "unordered-iter",
+                f"unordered-container iteration {why}",
+                line_text(lines, lineno)))
+    for m in ITER_FOR_RE.finditer(stripped):
+        if m.group(1) not in unordered_names:
+            continue
+        close = find_matching_paren(stripped, m.start() + len("for"))
+        body, _ = extract_body(stripped, (close + 1) if close != -1 else m.end())
+        why = order_dependent_sinks(body, set())
+        if why:
+            lineno = line_of(stripped, m.start())
+            findings.append(Finding(
+                path, lineno, "unordered-iter",
+                f"unordered-container iteration {why}",
+                line_text(lines, lineno)))
+    return findings
+
+
+def collect_unordered_names(stripped):
+    return {m.group(1) for m in UNORDERED_DECL_RE.finditer(stripped)}
+
+
+def scan_file(path, raw, unordered_names, result_affecting):
+    stripped = strip_comments_and_strings(raw)
+    lines = raw.splitlines()
+    stripped_lines = stripped.splitlines()
+    findings = []
+    for i, line in enumerate(stripped_lines, start=1):
+        if WALL_CLOCK_RE.search(line):
+            findings.append(Finding(
+                path, i, "wall-clock",
+                "wall-clock read (slot time is the only simulation clock)",
+                line_text(lines, i)))
+        if RAW_RANDOM_RE.search(line):
+            findings.append(Finding(
+                path, i, "raw-random",
+                "raw random source (all randomness flows through util::Rng)",
+                line_text(lines, i)))
+        if result_affecting:
+            for regex in POINTER_KEY_RES:
+                if regex.search(line):
+                    findings.append(Finding(
+                        path, i, "pointer-key",
+                        "pointer-keyed container or comparator "
+                        "(order follows allocation addresses)",
+                        line_text(lines, i)))
+                    break
+    if result_affecting:
+        findings.extend(scan_unordered_iteration(
+            path, stripped, lines, unordered_names))
+    return findings
+
+
+def is_result_affecting(relpath):
+    parts = relpath.replace(os.sep, "/").split("/")
+    return len(parts) >= 2 and parts[0] == "src" and parts[1] in RESULT_DIRS
+
+
+def discover_files(root, build_dir):
+    """Headers always come from the walk; translation units come from
+    compile_commands.json when available (the set the build compiles)."""
+    src = os.path.join(root, "src")
+    walked = []
+    for dirpath, _, names in os.walk(src):
+        for name in sorted(names):
+            if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                walked.append(os.path.join(dirpath, name))
+    compile_commands = (
+        os.path.join(build_dir, "compile_commands.json") if build_dir else
+        os.path.join(root, "build", "compile_commands.json"))
+    if not os.path.isfile(compile_commands):
+        if build_dir:
+            sys.exit(f"error: {compile_commands} not found")
+        return sorted(walked)
+    with open(compile_commands, encoding="utf-8") as f:
+        entries = json.load(f)
+    units = set()
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        if path.startswith(src + os.sep):
+            units.add(path)
+    headers = [p for p in walked if p.endswith((".h", ".hpp"))]
+    sources = [p for p in walked if not p.endswith((".h", ".hpp"))]
+    picked = [p for p in sources if p in units] if units else sources
+    return sorted(headers + picked)
+
+
+def load_allowlist(path):
+    entries = []
+    if not os.path.isfile(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 2:
+                sys.exit(f"{path}:{lineno}: malformed allowlist entry "
+                         f"(want: <rule> <path-glob> [substring])")
+            entries.append({
+                "rule": parts[0],
+                "glob": parts[1],
+                "substring": parts[2].strip() if len(parts) > 2 else "",
+                "where": f"{path}:{lineno}",
+                "used": False,
+            })
+    return entries
+
+
+def apply_allowlist(findings, entries):
+    kept = []
+    for f in findings:
+        rel = f.path.replace(os.sep, "/")
+        suppressed = False
+        for e in entries:
+            if e["rule"] != f.rule:
+                continue
+            if not (fnmatch.fnmatch(rel, e["glob"]) or rel.endswith(e["glob"])):
+                continue
+            if e["substring"] and e["substring"] not in f.text:
+                continue
+            e["used"] = True
+            suppressed = True
+            break
+        if not suppressed:
+            kept.append(f)
+    return kept
+
+
+def run_lint(args):
+    root = os.path.abspath(args.root)
+    files = discover_files(root, args.build_dir)
+    if not files:
+        sys.exit(f"error: no sources found under {os.path.join(root, 'src')}")
+
+    # Pass 1 (global): names of unordered containers, so a loop in a .cc
+    # over a member declared in its header still resolves.
+    unordered_names = set()
+    contents = {}
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            contents[path] = f.read()
+        unordered_names |= collect_unordered_names(
+            strip_comments_and_strings(contents[path]))
+
+    findings = []
+    for path in files:
+        rel = os.path.relpath(path, root)
+        findings.extend(scan_file(rel, contents[path], unordered_names,
+                                  is_result_affecting(rel)))
+
+    entries = load_allowlist(args.allowlist)
+    findings = apply_allowlist(findings, entries)
+
+    status = 0
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        print(f)
+        status = 1
+    for e in entries:
+        if not e["used"]:
+            print(f"{e['where']}: unused allowlist entry "
+                  f"({e['rule']} {e['glob']}) — remove it")
+            status = 1
+    if status == 0:
+        print(f"lint_determinism: {len(files)} files clean "
+              f"({len(entries)} allowlist entries, all used)")
+    return status
+
+
+def run_self_test(fixtures_dir):
+    if not os.path.isdir(fixtures_dir):
+        sys.exit(f"error: fixtures directory {fixtures_dir} not found")
+    fixture_files = sorted(
+        os.path.join(fixtures_dir, n) for n in os.listdir(fixtures_dir)
+        if n.endswith(".cc"))
+    if not fixture_files:
+        sys.exit(f"error: no fixtures in {fixtures_dir}")
+
+    failures = []
+    rules_exercised = set()
+    for path in fixture_files:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        expected = set()
+        for i, line in enumerate(raw.splitlines(), start=1):
+            for marker in re.finditer(r"//\s*LINT-EXPECT:\s*([\w-]+)", line):
+                expected.add((i, marker.group(1)))
+                rules_exercised.add(marker.group(1))
+        # Fixtures are scanned as result-affecting code with a local
+        # unordered-name pass (each fixture is self-contained).
+        names = collect_unordered_names(strip_comments_and_strings(raw))
+        actual = {(f.line, f.rule)
+                  for f in scan_file(os.path.basename(path), raw, names, True)}
+        for miss in sorted(expected - actual):
+            failures.append(f"{path}:{miss[0]}: expected {miss[1]} finding "
+                            f"was not reported")
+        for extra in sorted(actual - expected):
+            failures.append(f"{path}:{extra[0]}: unexpected {extra[1]} finding")
+
+    all_rules = {"wall-clock", "raw-random", "unordered-iter", "pointer-key"}
+    for rule in sorted(all_rules - rules_exercised):
+        failures.append(f"self-test does not exercise rule '{rule}'")
+
+    for failure in failures:
+        print(failure)
+    if not failures:
+        print(f"lint_determinism --self-test: "
+              f"{len(fixture_files)} fixtures ok, "
+              f"rules exercised: {', '.join(sorted(rules_exercised))}")
+    return 1 if failures else 0
+
+
+def main():
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    parser = argparse.ArgumentParser(
+        description="Determinism linter (see module docstring).")
+    parser.add_argument("--root", default=os.path.dirname(script_dir),
+                        help="repository root (default: the script's parent)")
+    parser.add_argument("--build-dir", default=None,
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--allowlist",
+                        default=os.path.join(script_dir,
+                                             "determinism_allowlist.txt"))
+    parser.add_argument("--self-test", action="store_true",
+                        help="check the rules against scripts/lint_fixtures/")
+    parser.add_argument("--fixtures-dir",
+                        default=os.path.join(script_dir, "lint_fixtures"))
+    args = parser.parse_args()
+    if args.self_test:
+        sys.exit(run_self_test(args.fixtures_dir))
+    sys.exit(run_lint(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+// Self-test fixture: shapes the pointer-key rule must NOT flag — pointers
+// as mapped *values*, value-keyed containers, pointer vectors, and
+// value-typed priority queues. This file is never compiled.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Node {
+  int weight = 0;
+};
+
+struct Graph {
+  std::map<int, Node*> by_id_;                     // pointer value: fine
+  std::unordered_map<uint64_t, Node*> by_handle_;  // pointer value: fine
+  std::set<uint64_t> ids_;
+  std::multiset<double> weights_;
+  std::vector<Node*> order_;  // sequence of pointers: fine
+  std::less<uint64_t> cmp_;
+  std::priority_queue<int, std::vector<int>, std::greater<int>> heap_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Self-test fixture: pointer-keyed associative containers and pointer
+// comparators. Pointer order depends on the allocator, so any walk or
+// ordering over these is a run-to-run hazard. This file is never compiled.
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Node {
+  int weight = 0;
+};
+
+struct Graph {
+  std::map<Node*, int> rank_;                    // LINT-EXPECT: pointer-key
+  std::set<const Node*> visited_;                // LINT-EXPECT: pointer-key
+  std::multiset<Node*> pending_;                 // LINT-EXPECT: pointer-key
+  std::map<Node*, std::vector<int>> adjacency_;  // LINT-EXPECT: pointer-key
+
+  using Cmp = std::less<Node*>;  // LINT-EXPECT: pointer-key
+
+  std::priority_queue<Node*> frontier_;  // LINT-EXPECT: pointer-key
+};
+
+}  // namespace fixture

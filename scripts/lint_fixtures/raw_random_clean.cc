@@ -1,0 +1,32 @@
+// Self-test fixture: near-misses the raw-random rule must NOT flag — the
+// sanctioned util::Rng surface, identifiers containing "rand", member
+// calls named rand(), and mentions in comments. This file is never
+// compiled.
+#include <cstdint>
+
+namespace fixture {
+
+// The sanctioned source (mirrors src/sim/random.h).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t next_u64() { return state_ += 0x9E3779B97f4A7C15ULL; }
+  double uniform() { return 0.5; }
+
+ private:
+  uint64_t state_;
+};
+
+struct Heuristic {
+  // kRandom is an enum-ish name, not a call to rand().
+  static constexpr int kRandom = 3;
+  int rand_budget = 0;  // identifier containing "rand"
+  int operand(int x) { return x; }
+};
+
+// std::rand in a comment must not trip the rule.
+double draw(Rng& rng, Heuristic& h) {
+  return rng.uniform() + h.operand(h.rand_budget);
+}
+
+}  // namespace fixture

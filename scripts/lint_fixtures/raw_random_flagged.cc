@@ -1,0 +1,21 @@
+// Self-test fixture: raw random sources the linter must catch. All
+// randomness in the library flows through util::Rng; each line below is a
+// bypass. This file is never compiled.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int raw_draws() {
+  std::random_device rd;            // LINT-EXPECT: raw-random
+  std::mt19937 gen(rd());           // LINT-EXPECT: raw-random
+  std::mt19937_64 gen64(1);         // LINT-EXPECT: raw-random
+  std::default_random_engine eng;   // LINT-EXPECT: raw-random
+  std::minstd_rand lcg;             // LINT-EXPECT: raw-random
+  srand(42);                        // LINT-EXPECT: raw-random
+  int a = std::rand();              // LINT-EXPECT: raw-random
+  int b = rand();                   // LINT-EXPECT: raw-random
+  return a + b + static_cast<int>(gen() + gen64() + eng() + lcg());
+}
+
+}  // namespace fixture

@@ -1,0 +1,53 @@
+// Self-test fixture: unordered-container uses the unordered-iter rule must
+// NOT flag — per-element mutation (order-independent), lookups and erases
+// without iteration, and iteration over *ordered* containers. This file is
+// never compiled.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Session {
+  int next_segment = 0;
+  bool paused = false;
+};
+
+struct Server {
+  std::unordered_map<uint64_t, Session> sessions_;
+  std::map<uint64_t, Session> ordered_;
+
+  // Per-element mutation: each entry is updated independently, so the
+  // visit order cannot affect the result.
+  void advance_all() {
+    for (auto& [id, info] : sessions_) {
+      if (!info.paused) ++info.next_segment;
+      info.paused = false;
+    }
+  }
+
+  // Lookup and erase by key — no iteration at all.
+  void stop(uint64_t id) {
+    auto it = sessions_.find(id);
+    if (it != sessions_.end()) sessions_.erase(it);
+  }
+
+  // Accumulating over an ordered map is deterministic.
+  int count_paused() const {
+    int n = 0;
+    for (const auto& [id, info] : ordered_) {
+      if (info.paused) ++n;
+    }
+    return n;
+  }
+
+  // Accumulating over a vector is deterministic.
+  static int sum(const std::vector<int>& xs) {
+    int total = 0;
+    for (int x : xs) total += x;
+    return total;
+  }
+};
+
+}  // namespace fixture

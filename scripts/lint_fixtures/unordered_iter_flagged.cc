@@ -1,0 +1,62 @@
+// Self-test fixture: unordered-container iterations that feed returned or
+// accumulated values — each loop's outcome depends on hash-table order.
+// This file is never compiled.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Info {
+  int state = 0;
+  double weight = 0.0;
+};
+
+struct Table {
+  std::unordered_map<uint64_t, Info> sessions_;
+  std::unordered_set<std::string> names_;
+
+  int count_watching() const {
+    int n = 0;
+    for (const auto& [id, info] : sessions_) {  // LINT-EXPECT: unordered-iter
+      if (info.state == 1) ++n;
+    }
+    return n;
+  }
+
+  std::vector<uint64_t> collect() const {
+    std::vector<uint64_t> out;
+    for (const auto& [id, info] : sessions_) {  // LINT-EXPECT: unordered-iter
+      out.push_back(id);
+    }
+    return out;
+  }
+
+  uint64_t first_match() const {
+    for (const auto& [id, info] : sessions_) {  // LINT-EXPECT: unordered-iter
+      if (info.state == 2) return id;
+    }
+    return 0;
+  }
+
+  double total_weight() const {
+    double sum = 0.0;
+    for (auto it = sessions_.begin();  // LINT-EXPECT: unordered-iter
+         it != sessions_.end(); ++it) {
+      sum += it->second.weight;
+    }
+    return sum;
+  }
+
+  std::string join() const {
+    std::string all;
+    for (const auto& name : names_) {  // LINT-EXPECT: unordered-iter
+      all += name;
+    }
+    return all;
+  }
+};
+
+}  // namespace fixture

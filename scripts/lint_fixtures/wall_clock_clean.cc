@@ -1,0 +1,26 @@
+// Self-test fixture: near-misses the wall-clock rule must NOT flag —
+// slot-time accessors, identifiers containing "time"/"clock", comments,
+// and string literals. This file is never compiled.
+#include <cstdint>
+
+namespace fixture {
+
+struct Entry {
+  double time = 0.0;  // field named `time`: not a clock read
+};
+
+struct Sim {
+  uint64_t slot_time() const { return slot_; }  // slot domain, fine
+  double runtime(double d) { return d; }
+  uint64_t slot_ = 0;
+};
+
+// A comment mentioning std::chrono::steady_clock must not trip the rule.
+double use(Sim& sim, const Entry& e) {
+  const char* label = "steady_clock";  // string literal, not a read
+  double total = e.time + sim.runtime(2.0);
+  (void)label;
+  return total + static_cast<double>(sim.slot_time());
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Self-test fixture: every wall-clock read shape the linter must catch.
+// Markers name the rule the line must trigger; the self-test fails on any
+// missed or extra finding. This file is never compiled.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long wall_reads() {
+  auto a = std::chrono::system_clock::now();    // LINT-EXPECT: wall-clock
+  auto b = std::chrono::steady_clock::now();    // LINT-EXPECT: wall-clock
+  auto c =
+      std::chrono::high_resolution_clock::now();  // LINT-EXPECT: wall-clock
+  long d = time(nullptr);  // LINT-EXPECT: wall-clock
+  long e = clock();        // LINT-EXPECT: wall-clock
+  struct timespec ts;
+  clock_gettime(0, &ts);  // LINT-EXPECT: wall-clock
+  (void)a;
+  (void)b;
+  (void)c;
+  return d + e + ts.tv_sec;
+}
+
+}  // namespace fixture

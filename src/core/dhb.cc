@@ -121,6 +121,7 @@ std::optional<Slot> DhbScheduler::choose_capped_slot(
 }
 
 DhbRequestResult DhbScheduler::on_request() {
+  VOD_DCHECK_SERIAL(serial_);  // covers the memo fast path, which skips admit()
   if (config_.coalesce_same_slot && config_.client_stream_cap == 0) {
     if (memo_valid_) {
       // Follower: the leader (or an earlier follower) already forced every
@@ -150,6 +151,7 @@ DhbRequestResult DhbScheduler::on_request() {
 }
 
 DhbRequestResult DhbScheduler::on_request_batch(uint64_t count) {
+  VOD_DCHECK_SERIAL(serial_);
   VOD_CHECK_MSG(count >= 1, "on_request_batch needs at least one request");
   DhbRequestResult result = on_request();
   if (count == 1) return result;
@@ -193,6 +195,7 @@ std::vector<int> DhbScheduler::resume_periods(Segment first_segment) const {
 
 DhbRequestResult DhbScheduler::admit(Segment first_segment,
                                      Segment last_segment) {
+  VOD_DCHECK_SERIAL(serial_);  // every unmemoized admission funnels through here
   VOD_CHECK(first_segment >= 1 && first_segment <= config_.num_segments);
   VOD_CHECK(last_segment >= first_segment &&
             last_segment <= config_.num_segments);
@@ -332,6 +335,7 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
 
 std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
     int channel_cap) {
+  VOD_DCHECK_SERIAL(serial_);
   VOD_CHECK(channel_cap >= 1);
   VOD_CHECK_MSG(config_.client_stream_cap == 0,
                 "bounded admission assumes unlimited client bandwidth");
@@ -426,6 +430,7 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
 }
 
 std::vector<Segment> DhbScheduler::advance_slot() {
+  VOD_DCHECK_SERIAL(serial_);
   memo_valid_ = false;  // plans are per-arrival-slot; the clock moved
   std::vector<Segment> out = schedule_.advance();
   // Per-slot server bandwidth in streams: a Chrome counter track that

@@ -39,6 +39,7 @@
 #include "schedule/slot_schedule.h"
 #include "schedule/types.h"
 #include "sim/random.h"
+#include "util/thread_checker.h"
 
 namespace vod {
 
@@ -183,6 +184,13 @@ class DhbScheduler {
 
   // Shared admission path; windows (now, now + min(T[j], j - first + 1)].
   DhbRequestResult admit(Segment first_segment, Segment last_segment);
+
+  // Single-writer discipline (DESIGN.md §11): a scheduler — its schedule,
+  // rng, memo, and the lifetime counters in metrics_ — is mutated by one
+  // thread at a time. The sharded engine honors this by giving every video
+  // its own scheduler on one worker; Debug builds enforce it on each
+  // mutating entry point via VOD_DCHECK_SERIAL.
+  ThreadChecker serial_;
 
   DhbConfig config_;
   std::vector<int> periods_;  // resolved T[], index j-1

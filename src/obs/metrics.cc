@@ -5,13 +5,18 @@
 namespace vod::obs {
 
 Counter* MetricShard::counter(const std::string& name) {
+  VOD_DCHECK_SERIAL(writer_);
   return &counters_[name];
 }
 
-Gauge* MetricShard::gauge(const std::string& name) { return &gauges_[name]; }
+Gauge* MetricShard::gauge(const std::string& name) {
+  VOD_DCHECK_SERIAL(writer_);
+  return &gauges_[name];
+}
 
 HistogramMetric* MetricShard::histogram(const std::string& name, double lo,
                                         double hi, size_t bins) {
+  VOD_DCHECK_SERIAL(writer_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(name, HistogramMetric(lo, hi, bins)).first;
@@ -45,6 +50,7 @@ uint64_t MetricShard::counter_value(const std::string& name) const {
 }
 
 void MetricShard::merge_from(const MetricShard& other) {
+  VOD_DCHECK_SERIAL(writer_);  // mutates this shard; `other` is only read
   for (const auto& [name, c] : other.counters_) {
     counters_[name].inc(c.value());
   }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "sim/stats.h"
+#include "util/thread_checker.h"
 
 namespace vod::obs {
 
@@ -86,6 +87,13 @@ class HistogramMetric {
 // One writer's flat metric namespace. Find-or-create accessors return
 // stable handles; exporters iterate the maps in name order, so output
 // order is deterministic regardless of creation order.
+//
+// Concurrency contract: one writer at a time, no locks (DESIGN.md §11).
+// The find-or-create accessors and merge_from() assert the single-writer
+// discipline in Debug builds; const reads are unchecked (the engine only
+// reads shards after its workers have joined). Ownership moves between
+// threads via detach_writer() — EngineObserver::sink() calls it at the
+// orchestrator→worker handoff, re-arming the checker for the new writer.
 class MetricShard {
  public:
   Counter* counter(const std::string& name);
@@ -107,6 +115,10 @@ class MetricShard {
   // bins add, gauges sum. Deterministic for a fixed merge order.
   void merge_from(const MetricShard& other);
 
+  // Releases the Debug-build writer binding so the next mutating call may
+  // come from a different thread. Call only at a quiescent handoff point.
+  void detach_writer() { writer_.detach(); }
+
   bool empty() const {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
@@ -118,6 +130,7 @@ class MetricShard {
   }
 
  private:
+  ThreadChecker writer_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, HistogramMetric> histograms_;

@@ -9,6 +9,14 @@ namespace vod::obs {
 
 namespace {
 
+// THE wall-clock exception (DESIGN.md §10/§11). process_epoch() and
+// wall_now_ns() are the library's only sanctioned wall-clock reads: they
+// feed the kWall trace track — profiling spans on their own exporter
+// timeline — and nothing else. Wall time never reaches a slot-time result;
+// the determinism linter (scripts/lint_determinism.py) bans these reads
+// everywhere and allowlists exactly this file
+// (scripts/determinism_allowlist.txt). Do not add wall-clock reads
+// elsewhere; widen the allowlist only with a DESIGN.md §11 justification.
 std::chrono::steady_clock::time_point process_epoch() {
   static const std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
@@ -30,7 +38,13 @@ TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity) {
   ring_.reserve(std::min<size_t>(capacity, 4096));
 }
 
+void TraceBuffer::set_track(uint32_t track) {
+  VOD_DCHECK_SERIAL(writer_);
+  track_ = track;
+}
+
 void TraceBuffer::emit(const TraceEvent& event) {
+  VOD_DCHECK_SERIAL(writer_);
   ++emitted_;
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
@@ -124,6 +138,12 @@ void EngineObserver::prepare(size_t num_shards) {
 ObsSink EngineObserver::sink(size_t shard) {
   VOD_CHECK_MSG(shard < traces_.size(),
                 "EngineObserver::prepare() must cover every shard");
+  // Ownership handoff: the caller (the worker about to run this shard)
+  // becomes the shard's sole writer. Safe to detach here — sink() is only
+  // called when no other thread touches the shard (the previous run's
+  // workers joined before this run's started).
+  registry_.shard(shard).detach_writer();
+  traces_[shard]->detach_writer();
   return ObsSink{&registry_.shard(shard), traces_[shard].get()};
 }
 

@@ -22,6 +22,12 @@
 // TraceBuffer is a fixed-capacity ring that keeps the most recent events
 // and counts what it dropped — tracing a multi-day simulation is bounded
 // by construction, never by luck.
+//
+// Concurrency contract: a TraceBuffer has one writer at a time and no
+// locks (DESIGN.md §11). The sharded engine gives every shard its own
+// ring; EngineObserver::sink() re-arms the Debug-build writer check at
+// the orchestrator→worker handoff, and the exporters read only after the
+// workers have joined.
 #pragma once
 
 #include <cstddef>
@@ -30,6 +36,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/thread_checker.h"
 
 namespace vod::obs {
 
@@ -88,10 +95,15 @@ class TraceBuffer {
 
   // Default track id stamped on events emitted with track 0 via the
   // convenience emitters below; the engine sets it to the video rank.
-  void set_track(uint32_t track) { track_ = track; }
+  void set_track(uint32_t track);
   uint32_t track() const { return track_; }
 
+  // Releases the Debug-build writer binding (see header comment). Call
+  // only at a quiescent handoff point.
+  void detach_writer() { writer_.detach(); }
+
  private:
+  ThreadChecker writer_;
   size_t capacity_;
   std::vector<TraceEvent> ring_;
   size_t next_ = 0;  // overwrite position once full

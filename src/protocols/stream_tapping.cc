@@ -205,7 +205,11 @@ double optimize_restart_threshold(const TappingConfig& config) {
 
   double best_theta = D;
   double best_bw = -1.0;
-  for (double theta = D; theta >= D / 256.0; theta /= 2.0) {
+  // Integer induction over the geometric grid D, D/2, ..., D/256 (halving
+  // a double is exact, so the grid points are unchanged; cert-flp30-c
+  // bans the float loop counter this replaces).
+  for (int halvings = 0; halvings <= 8; ++halvings) {
+    const double theta = D / static_cast<double>(1 << halvings);
     pilot.restart_threshold_s = theta;
     PoissonProcess arrivals(per_hour(pilot.requests_per_hour),
                             Rng(pilot.seed ^ 0x5eed));

@@ -21,6 +21,17 @@ namespace {
 // bit-identical whether the shards run inline or on 8 workers.
 constexpr int kShardSize = 64;
 
+// Concurrency contract of the engine (DESIGN.md §8/§11): there are no
+// locks here by design. CatalogPlan and the ZipfDistribution are frozen
+// before the workers start and shared read-only; each worker writes one
+// ShardResult and one observer shard that no other thread touches until
+// the join; the merge runs after the join, single-threaded, in shard
+// order. The compile-time half of the contract lives in the primitives
+// (ThreadPool's annotated mutex, util/thread_annotations.h); the runtime
+// half is the VOD_DCHECK_SERIAL single-writer checks inside DhbScheduler,
+// MetricShard, and TraceBuffer, which fire in Debug builds if any code
+// change ever makes two workers share one of these.
+
 // Everything a shard kernel needs, shared read-only across workers.
 struct CatalogPlan {
   const MultiVideoConfig* config;

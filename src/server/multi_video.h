@@ -84,6 +84,9 @@ struct MultiVideoConfig {
   // scheduler's dhb_* counters into its shard — so the observer's merged
   // view is bit-identical at any num_threads. Never read by the
   // simulation: results are unchanged whether an observer is attached.
+  // Shard handoff re-arms the per-shard single-writer checks
+  // (EngineObserver::sink() → detach_writer(); DESIGN.md §11), so Debug
+  // builds verify that workers really do touch disjoint shards.
   obs::EngineObserver* observer = nullptr;
 
   uint64_t seed = 42;

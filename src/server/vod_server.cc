@@ -10,6 +10,7 @@ namespace vod {
 VodServer::VodServer(const DhbConfig& config) : scheduler_(config) {}
 
 std::vector<ServerTransmission> VodServer::advance_slot() {
+  VOD_DCHECK_SERIAL(serial_);
   const std::vector<Segment> segments = scheduler_.advance_slot();
 
   // Channel assignment is per slot: instances occupy a channel for exactly
@@ -38,6 +39,7 @@ std::vector<ServerTransmission> VodServer::advance_slot() {
 }
 
 VodServer::ClientId VodServer::start() {
+  VOD_DCHECK_SERIAL(serial_);
   const ClientId id = next_id_++;
   SessionInfo info;
   info.admitted_slot = scheduler_.current_slot();
@@ -48,6 +50,7 @@ VodServer::ClientId VodServer::start() {
 }
 
 VodServer::SessionInfo& VodServer::live_session(ClientId id) {
+  VOD_DCHECK_SERIAL(serial_);  // chokepoint for the pause/resume/stop mutators
   auto it = sessions_.find(id);
   VOD_CHECK_MSG(it != sessions_.end(), "unknown session id");
   return it->second;

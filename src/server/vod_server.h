@@ -15,14 +15,23 @@
 //
 // Every (re-)admission is verified against the playout contract at the
 // moment it happens; `SessionInfo::playout_ok` accumulates the result.
+//
+// Determinism note: sessions live in a std::map, not an unordered_map —
+// advance_slot() and active_sessions() iterate the table, and iteration
+// over a hash map is ordered by hash-table internals, which the
+// determinism linter (scripts/lint_determinism.py) bans in result-
+// affecting code. Session ids are dense sequential integers, so the
+// ordered map costs nothing observable at session counts this server
+// sees, and every walk is id-ordered by construction.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "core/dhb.h"
 #include "schedule/types.h"
+#include "util/thread_checker.h"
 
 namespace vod {
 
@@ -76,8 +85,12 @@ class VodServer {
  private:
   SessionInfo& live_session(ClientId id);
 
+  // One thread owns a server (sessions + the underlying scheduler); the
+  // VCR entry points assert it in Debug builds (DESIGN.md §11).
+  ThreadChecker serial_;
+
   DhbScheduler scheduler_;
-  std::unordered_map<ClientId, SessionInfo> sessions_;
+  std::map<ClientId, SessionInfo> sessions_;
   ClientId next_id_ = 1;
   int channels_in_use_ = 0;
   int peak_channels_ = 0;

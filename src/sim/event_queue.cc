@@ -5,6 +5,7 @@
 namespace vod {
 
 EventId EventQueue::schedule(double t, std::function<void()> fn) {
+  VOD_DCHECK_SERIAL(serial_);
   VOD_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
   VOD_CHECK(fn != nullptr);
   const EventId id = next_id_++;
@@ -14,6 +15,7 @@ EventId EventQueue::schedule(double t, std::function<void()> fn) {
 }
 
 bool EventQueue::cancel(EventId id) {
+  VOD_DCHECK_SERIAL(serial_);
   // The heap entry stays behind; skim() discards it lazily.
   return handlers_.erase(id) > 0;
 }
@@ -23,6 +25,7 @@ void EventQueue::skim() {
 }
 
 bool EventQueue::step() {
+  VOD_DCHECK_SERIAL(serial_);
   skim();
   if (heap_.empty()) return false;
   const Entry e = heap_.top();

@@ -6,6 +6,12 @@
 // mixed with continuous processes. Events are (time, sequence)-ordered so
 // simultaneous events fire in scheduling order, which keeps runs
 // deterministic.
+//
+// Concurrency contract: an EventQueue is owned by one simulation thread —
+// there is no internal locking, and Debug builds assert the single-writer
+// discipline on every mutating call (DESIGN.md §11). The handlers_ hash
+// map is never iterated (lookup/erase only), so its nondeterministic
+// order can never reach a result; the time order comes from the heap.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,8 @@
 #include <queue>
 #include <unordered_map>
 #include <vector>
+
+#include "util/thread_checker.h"
 
 namespace vod {
 
@@ -51,6 +59,7 @@ class EventQueue {
   // Drops heap entries whose handler was cancelled.
   void skim();
 
+  ThreadChecker serial_;
   double now_ = 0.0;
   EventId next_id_ = 1;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;

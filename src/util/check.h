@@ -25,6 +25,14 @@ using CheckFailureHandler = void (*)(const char* expr, const char* file,
 
 namespace detail {
 
+// The one piece of cross-thread shared state in this header. It is a
+// single atomic slot rather than a mutex-guarded field on purpose:
+// check_failed() must stay async-signal-ish (no locks on the abort path,
+// callable from any worker at any point), so publication is a lock-free
+// exchange/load and the installed handler must itself be thread-safe.
+// Nothing here is VOD_GUARDED_BY anything — there is no mutex to name —
+// which is exactly what the annotation layer documents as the boundary of
+// compile-time checking (DESIGN.md §11).
 inline std::atomic<CheckFailureHandler>& check_failure_handler_slot() {
   static std::atomic<CheckFailureHandler> slot{nullptr};
   return slot;
@@ -35,8 +43,10 @@ inline std::atomic<CheckFailureHandler>& check_failure_handler_slot() {
   if (CheckFailureHandler handler = check_failure_handler_slot().load()) {
     handler(expr, file, line, msg);
   }
-  std::fprintf(stderr, "VOD_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
-               msg[0] != '\0' ? " — " : "", msg);
+  // Best-effort diagnostic on the way down; a failed write to stderr must
+  // not mask the abort (hence the discarded return value).
+  (void)std::fprintf(stderr, "VOD_CHECK failed: %s at %s:%d%s%s\n", expr,
+                     file, line, msg[0] != '\0' ? " — " : "", msg);
   std::abort();
 }
 

@@ -16,14 +16,19 @@
 //
 // Tasks must not throw (the library reports failure through VOD_CHECK,
 // which aborts) and must not submit to the pool they run on.
+//
+// The pool's shared state is the library's reference user of the
+// thread-safety annotation layer (util/thread_annotations.h): every field
+// touched by more than one thread is VOD_GUARDED_BY(mutex_), and clang
+// builds enforce the locking discipline at compile time.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace vod {
 
@@ -36,7 +41,7 @@ class ThreadPool {
   // Starts `num_threads` (>= 1) workers immediately.
   explicit ThreadPool(int num_threads);
   // Blocks until every submitted task has run, then joins the workers.
-  ~ThreadPool();
+  ~ThreadPool() VOD_EXCLUDES(mutex_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -44,25 +49,28 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   // Enqueues one task for execution on some worker.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) VOD_EXCLUDES(mutex_);
 
   // Blocks until the queue is empty and no task is running.
-  void wait_idle();
+  void wait_idle() VOD_EXCLUDES(mutex_);
 
   // Runs fn(0), ..., fn(num_tasks - 1) across the pool and blocks until
   // all calls have returned. Indices are claimed dynamically, so long and
   // short tasks balance; no two calls run fn on the same index.
-  void parallel_for(int num_tasks, const std::function<void(int)>& fn);
+  void parallel_for(int num_tasks, const std::function<void(int)>& fn)
+      VOD_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() VOD_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  int active_ = 0;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ VOD_GUARDED_BY(mutex_);
+  int active_ VOD_GUARDED_BY(mutex_) = 0;
+  bool stopping_ VOD_GUARDED_BY(mutex_) = false;
+  // Started in the constructor, joined in the destructor; never otherwise
+  // touched after construction, so not guarded.
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,81 @@
+// Tests for the bind-on-first-use ThreadChecker backing VOD_DCHECK_SERIAL
+// (util/thread_checker.h): first-use binding, cross-thread rejection, the
+// detach() ownership handoff the multi-video engine relies on, and the
+// fresh-scope semantics of copies.
+#include "util/thread_checker.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace vod {
+namespace {
+
+TEST(ThreadChecker, BindsOnFirstUseAndStaysBound) {
+  ThreadChecker checker;
+  EXPECT_TRUE(checker.calls_serial());  // first use binds
+  EXPECT_TRUE(checker.calls_serial());  // and keeps answering true
+  EXPECT_TRUE(checker.calls_serial());
+}
+
+TEST(ThreadChecker, OtherThreadSeesFalseAfterBinding) {
+  ThreadChecker checker;
+  ASSERT_TRUE(checker.calls_serial());  // bound to this thread
+
+  bool other_serial = true;
+  std::thread other([&] { other_serial = checker.calls_serial(); });
+  other.join();
+  EXPECT_FALSE(other_serial);
+  EXPECT_TRUE(checker.calls_serial());  // binding unchanged
+}
+
+TEST(ThreadChecker, DetachHandsOwnershipToNextCaller) {
+  ThreadChecker checker;
+  ASSERT_TRUE(checker.calls_serial());
+
+  // The engine's handoff: the orchestrator detaches, the worker that
+  // touches the state next becomes the owner.
+  checker.detach();
+  bool worker_serial = false;
+  std::thread worker([&] { worker_serial = checker.calls_serial(); });
+  worker.join();
+  EXPECT_TRUE(worker_serial);
+
+  // The old owner is now a foreign thread.
+  EXPECT_FALSE(checker.calls_serial());
+}
+
+TEST(ThreadChecker, CopyGuardsAFreshOwnershipScope) {
+  ThreadChecker original;
+  ASSERT_TRUE(original.calls_serial());
+
+  ThreadChecker copy(original);
+  bool copy_serial = false;
+  std::thread other([&] { copy_serial = copy.calls_serial(); });
+  other.join();
+  EXPECT_TRUE(copy_serial);             // copy bound independently
+  EXPECT_TRUE(original.calls_serial());  // original binding untouched
+}
+
+TEST(ThreadChecker, ConcurrentFirstUseBindsExactlyOneWinner) {
+  constexpr int kThreads = 8;
+  ThreadChecker checker;
+  std::atomic<int> winners{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      if (checker.calls_serial()) winners.fetch_add(1);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(winners.load(), 1);
+}
+
+}  // namespace
+}  // namespace vod
