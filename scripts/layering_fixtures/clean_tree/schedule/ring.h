@@ -1,0 +1,5 @@
+// Fixture: schedule may include sim and util (rank 3 > 1 > 0).
+#pragma once
+#include "sim/clock.h"
+#include "util/base.h"
+namespace vod { struct Ring { Clock clock; }; }

@@ -1,0 +1,3 @@
+// Fixture: server sees every engine layer below it.
+#include "schedule/ring.h"
+int main() { vod::Ring ring; return static_cast<int>(ring.clock.now); }

@@ -1,0 +1,4 @@
+// Fixture: sim may include util (rank 1 > 0).
+#pragma once
+#include "util/base.h"
+namespace vod { struct Clock { Slot now = 0; }; }

@@ -1,0 +1,3 @@
+// Fixture: bottom layer, includes nothing.
+#pragma once
+namespace vod { using Slot = long long; }

@@ -1,0 +1,3 @@
+// Fixture: analysis is the top: nothing may include it.
+#pragma once
+namespace vod { void audit(); }

@@ -1,0 +1,4 @@
+// Fixture: engine code reaching up into analysis.
+#include "analysis/auditor.h"  // LINT-EXPECT: layering
+#include "util/bad.h"
+int engine_main() { vod::audit(); return 0; }

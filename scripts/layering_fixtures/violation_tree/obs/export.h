@@ -1,0 +1,3 @@
+// Fixture: restricted exporter header (file I/O surface).
+#pragma once
+namespace vod { void write_json(); }

@@ -1,0 +1,4 @@
+// Fixture: equal-rank layers (protocols vs vbr) are mutually invisible.
+#pragma once
+#include "vbr/profile.h"  // LINT-EXPECT: layering
+namespace vod { struct Peer { VbrProfile p; }; }

@@ -1,0 +1,3 @@
+// Fixture: engine layer touching the exporter surface directly.
+#include "obs/export.h"  // LINT-EXPECT: layering
+void report() { vod::write_json(); }

@@ -1,0 +1,3 @@
+// Fixture: top-layer header dragged downward by util/bad.h.
+#pragma once
+namespace vod { struct ServerApi {}; }

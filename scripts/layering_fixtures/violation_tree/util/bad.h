@@ -1,0 +1,4 @@
+// Fixture: the forbidden upward edge util -> server.
+#pragma once
+#include "server/api.h"  // LINT-EXPECT: layering
+namespace vod { struct UtilThing { ServerApi api; }; }

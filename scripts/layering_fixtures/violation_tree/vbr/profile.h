@@ -1,0 +1,3 @@
+// Fixture: vbr peer layer, includable by server only.
+#pragma once
+namespace vod { struct VbrProfile {}; }

@@ -48,7 +48,11 @@ to scan exactly what the build compiles), else from the same walk.
 Allowlist: scripts/determinism_allowlist.txt — lines of
   <rule>  <path-or-glob>  [required-substring]
 Findings matching an entry are suppressed; entries that suppress nothing
-are themselves an error, so the allowlist can only shrink by rot.
+are themselves an error, so the allowlist can only shrink by rot. Three
+staleness tiers, each fatal: an unknown <rule> id (the rule was renamed
+or removed), a path glob matching no scanned file (the file moved or
+died), and an entry whose glob matches files but suppresses no finding
+(the violation it excused was fixed).
 
 Self-test: --self-test runs every rule over scripts/lint_fixtures/
 (one *_flagged.cc + one *_clean.cc per rule). Flagged lines carry a
@@ -65,6 +69,10 @@ import re
 import sys
 
 RESULT_DIRS = ("core", "schedule", "sim", "server", "protocols", "vbr")
+
+# Every rule id this linter can emit; allowlist entries must use one of
+# these, and the self-test must exercise each one both ways.
+ALL_RULES = ("wall-clock", "raw-random", "unordered-iter", "pointer-key")
 
 WALL_CLOCK_RE = re.compile(
     r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"
@@ -405,8 +413,34 @@ def load_allowlist(path):
                 "substring": parts[2].strip() if len(parts) > 2 else "",
                 "where": f"{path}:{lineno}",
                 "used": False,
+                "stale": False,
             })
     return entries
+
+
+def entry_matches_path(entry, rel):
+    return fnmatch.fnmatch(rel, entry["glob"]) or rel.endswith(entry["glob"])
+
+
+def allowlist_staleness(entries, scanned_rels):
+    """Structural staleness, checked before suppression is even attempted:
+    entries naming a rule this linter cannot emit, and entries whose glob
+    matches no scanned file. Both mean the entry outlived what it excused.
+    Returns error strings; flagged entries are marked so the weaker
+    suppresses-nothing check does not double-report them."""
+    errors = []
+    for e in entries:
+        if e["rule"] not in ALL_RULES:
+            errors.append(
+                f"{e['where']}: unknown rule '{e['rule']}' in allowlist "
+                f"(known: {', '.join(ALL_RULES)})")
+            e["stale"] = True
+        elif not any(entry_matches_path(e, rel) for rel in scanned_rels):
+            errors.append(
+                f"{e['where']}: stale allowlist entry — glob "
+                f"'{e['glob']}' matches no scanned file")
+            e["stale"] = True
+    return errors
 
 
 def apply_allowlist(findings, entries):
@@ -417,7 +451,7 @@ def apply_allowlist(findings, entries):
         for e in entries:
             if e["rule"] != f.rule:
                 continue
-            if not (fnmatch.fnmatch(rel, e["glob"]) or rel.endswith(e["glob"])):
+            if not entry_matches_path(e, rel):
                 continue
             if e["substring"] and e["substring"] not in f.text:
                 continue
@@ -452,14 +486,20 @@ def run_lint(args):
                                   is_result_affecting(rel)))
 
     entries = load_allowlist(args.allowlist)
+    scanned_rels = [os.path.relpath(p, root).replace(os.sep, "/")
+                    for p in files]
+    stale_errors = allowlist_staleness(entries, scanned_rels)
     findings = apply_allowlist(findings, entries)
 
     status = 0
     for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
         print(f)
         status = 1
+    for err in stale_errors:
+        print(err)
+        status = 1
     for e in entries:
-        if not e["used"]:
+        if not e["used"] and not e["stale"]:
             print(f"{e['where']}: unused allowlist entry "
                   f"({e['rule']} {e['glob']}) — remove it")
             status = 1
@@ -467,6 +507,51 @@ def run_lint(args):
         print(f"lint_determinism: {len(files)} files clean "
               f"({len(entries)} allowlist entries, all used)")
     return status
+
+
+def staleness_self_test():
+    """Exercises every allowlist-staleness tier against synthetic entries
+    (no temp files: staleness is pure entry-vs-file-list logic)."""
+    failures = []
+
+    def entry(rule, glob):
+        return {"rule": rule, "glob": glob, "substring": "",
+                "where": "synthetic:1", "used": False, "stale": False}
+
+    scanned = ["src/obs/trace.cc", "src/core/dhb.cc"]
+
+    # Tier 1: unknown rule id.
+    errors = allowlist_staleness([entry("no-such-rule", "src/*")], scanned)
+    if not any("unknown rule" in e for e in errors):
+        failures.append("staleness self-test: unknown rule id not detected")
+
+    # Tier 2: glob matching no scanned file.
+    errors = allowlist_staleness(
+        [entry("wall-clock", "src/gone/*.cc")], scanned)
+    if not any("matches no scanned file" in e for e in errors):
+        failures.append("staleness self-test: dead glob not detected")
+
+    # A live entry (valid rule, glob matching a scanned file) passes both
+    # tiers — tier 3 (suppresses nothing) stays apply_allowlist's job.
+    live = entry("wall-clock", "src/obs/trace.cc")
+    errors = allowlist_staleness([live], scanned)
+    if errors or live["stale"]:
+        failures.append(
+            f"staleness self-test: live entry misflagged: {errors}")
+
+    # Tier 3: a live entry that suppresses no finding is reported as
+    # unused (and a suppressing one is not).
+    suppressing = entry("wall-clock", "src/obs/trace.cc")
+    idle = entry("raw-random", "src/core/dhb.cc")
+    kept = apply_allowlist(
+        [Finding("src/obs/trace.cc", 1, "wall-clock", "m", "t")],
+        [suppressing, idle])
+    if kept or not suppressing["used"]:
+        failures.append("staleness self-test: suppression did not engage")
+    if idle["used"]:
+        failures.append("staleness self-test: idle entry counted as used")
+
+    return failures
 
 
 def run_self_test(fixtures_dir):
@@ -499,9 +584,10 @@ def run_self_test(fixtures_dir):
         for extra in sorted(actual - expected):
             failures.append(f"{path}:{extra[0]}: unexpected {extra[1]} finding")
 
-    all_rules = {"wall-clock", "raw-random", "unordered-iter", "pointer-key"}
-    for rule in sorted(all_rules - rules_exercised):
+    for rule in sorted(set(ALL_RULES) - rules_exercised):
         failures.append(f"self-test does not exercise rule '{rule}'")
+
+    failures.extend(staleness_self_test())
 
     for failure in failures:
         print(failure)

@@ -1,0 +1,333 @@
+#!/usr/bin/env python3
+"""Architecture-layering linter: the src/ include graph must be a DAG that
+respects the layer order documented in DESIGN.md §12 and README's
+repository map:
+
+    util < sim < obs < schedule < core < {protocols, vbr} < server
+    analysis sits on top: it may include anything, nothing includes it.
+
+Rules, checked per #include edge over the closure of every translation
+unit in compile_commands.json (plus every header under src/, so orphaned
+headers cannot rot unnoticed):
+
+  1. A file in layer L may include layer M iff M == L or rank(M) <
+     rank(L). Equal-rank distinct layers (protocols vs vbr) are mutually
+     invisible.
+  2. Restricted headers: obs/export.h (exporter surface: file I/O and
+     string formatting) is includable only from obs itself and analysis —
+     engine layers observe through the macros in obs/trace.h, never
+     through the exporters.
+
+Deliberate exceptions go in scripts/layering_allowlist.txt as
+"<includer-glob> -> <included-glob>" lines (repo-relative, fnmatch).
+An allowlist entry matching no present edge is itself an error — the
+exception expired and must be deleted (same staleness contract as
+lint_determinism.py's allowlist).
+
+Modes:
+  (default)        scan src/ via build/compile_commands.json; exit 1 on
+                   any violation or stale allowlist entry
+  --graph OUT.dot  also write the layer-level include graph as DOT
+                   (violating edges in red)
+  --self-test      run against scripts/layering_fixtures/ and verify the
+                   violating tree is reported exactly at its
+                   `// LINT-EXPECT: layering` markers, the clean tree
+                   passes, allowlisting silences the violation, and a
+                   stale allowlist entry fails
+
+Exit status: 0 clean, 1 violations/self-test failure, 2 environment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE_DIR = REPO_ROOT / "scripts" / "layering_fixtures"
+
+# Layer ranks. Lower may not include higher; equal ranks are mutually
+# invisible unless it is the same layer.
+LAYER_RANK = {
+    "util": 0,
+    "sim": 1,
+    "obs": 2,
+    "schedule": 3,
+    "core": 4,
+    "protocols": 5,
+    "vbr": 5,
+    "server": 6,
+    "analysis": 7,
+}
+
+# Header path (relative to the source root) -> layers allowed to include
+# it, overriding rule 1 in the *restrictive* direction.
+RESTRICTED_HEADERS = {
+    "obs/export.h": {"obs", "analysis"},
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+EXPECT_RE = re.compile(r"//\s*LINT-EXPECT:\s*layering\b")
+
+
+class Edge:
+    """One resolved include: includer file -> included file, with its
+    source line for reporting."""
+
+    def __init__(self, includer: str, included: str, line: int):
+        self.includer = includer  # source-root-relative, e.g. "core/dhb.cc"
+        self.included = included
+        self.line = line
+
+    def key(self):
+        return (self.includer, self.included)
+
+    def __repr__(self):
+        return f"{self.includer}:{self.line} -> {self.included}"
+
+
+def layer_of(rel_path: str) -> str | None:
+    head = rel_path.split("/", 1)[0]
+    return head if head in LAYER_RANK else None
+
+
+def collect_edges(source_root: Path, roots: list[Path]) -> list[Edge]:
+    """Resolves quoted includes over the closure of `roots`. Includes that
+    do not resolve to a file under source_root (system/third-party) are
+    ignored."""
+    edges: list[Edge] = []
+    seen: set[Path] = set()
+    stack = [p for p in roots]
+    while stack:
+        path = stack.pop()
+        if path in seen or not path.exists():
+            continue
+        seen.add(path)
+        rel = path.relative_to(source_root).as_posix()
+        for lineno, line in enumerate(
+                path.read_text(errors="replace").splitlines(), start=1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            target = source_root / m.group(1)
+            if not target.exists():
+                continue
+            edges.append(Edge(rel, target.relative_to(
+                source_root).as_posix(), lineno))
+            stack.append(target)
+    return edges
+
+
+def load_allowlist(path: Path) -> list[tuple[str, str, str]]:
+    """Returns (includer_glob, included_glob, raw_line) triples."""
+    entries = []
+    if not path.exists():
+        return entries
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "->" not in line:
+            print(f"lint_layering: malformed allowlist line: {raw}",
+                  file=sys.stderr)
+            sys.exit(2)
+        left, right = (part.strip() for part in line.split("->", 1))
+        entries.append((left, right, line))
+    return entries
+
+
+def check_edges(edges: list[Edge],
+                allowlist: list[tuple[str, str, str]]):
+    """Returns (violations, used_allowlist_lines)."""
+    violations: list[tuple[Edge, str]] = []
+    used: set[str] = set()
+    for edge in edges:
+        src_layer = layer_of(edge.includer)
+        dst_layer = layer_of(edge.included)
+        if src_layer is None or dst_layer is None:
+            continue
+        reason = None
+        allowed_by_rank = (src_layer == dst_layer or
+                           LAYER_RANK[dst_layer] < LAYER_RANK[src_layer])
+        if not allowed_by_rank:
+            reason = (f"layer '{src_layer}' may not include layer "
+                      f"'{dst_layer}'")
+        restricted = RESTRICTED_HEADERS.get(edge.included)
+        if reason is None and restricted is not None and \
+                src_layer not in restricted:
+            reason = (f"restricted header: {edge.included} is only "
+                      f"includable from {sorted(restricted)}")
+        if reason is None:
+            continue
+        waiver = next(
+            (raw for inc_glob, dst_glob, raw in allowlist
+             if fnmatch.fnmatch(edge.includer, inc_glob)
+             and fnmatch.fnmatch(edge.included, dst_glob)), None)
+        if waiver is not None:
+            used.add(waiver)
+            continue
+        violations.append((edge, reason))
+    return violations, used
+
+
+def write_graph(edges: list[Edge],
+                violations: list[tuple[Edge, str]], out: Path) -> None:
+    bad = {v[0].key() for v in violations}
+    layer_edges: dict[tuple[str, str], bool] = {}
+    for edge in edges:
+        a, b = layer_of(edge.includer), layer_of(edge.included)
+        if a is None or b is None or a == b:
+            continue
+        key = (a, b)
+        layer_edges[key] = layer_edges.get(key, False) or edge.key() in bad
+    lines = ["digraph layering {", "  rankdir=BT;"]
+    for layer in sorted(LAYER_RANK, key=LAYER_RANK.get):
+        lines.append(f'  "{layer}";')
+    for (a, b), is_bad in sorted(layer_edges.items()):
+        attr = ' [color=red, penwidth=2]' if is_bad else ""
+        lines.append(f'  "{a}" -> "{b}"{attr};')
+    lines.append("}")
+    out.write_text("\n".join(lines) + "\n")
+    print(f"lint_layering: wrote {out}")
+
+
+def scan(source_root: Path, roots: list[Path], allowlist_path: Path,
+         graph_out: Path | None) -> int:
+    edges = collect_edges(source_root, roots)
+    allowlist = load_allowlist(allowlist_path)
+    violations, used = check_edges(edges, allowlist)
+    status = 0
+    for edge, reason in sorted(violations, key=lambda v: v[0].key()):
+        print(f"{edge.includer}:{edge.line}: includes {edge.included}: "
+              f"{reason}")
+        status = 1
+    for _, _, raw in allowlist:
+        if raw not in used:
+            print(f"lint_layering: stale allowlist entry (matches no "
+                  f"present edge, delete it): {raw}")
+            status = 1
+    if graph_out is not None:
+        write_graph(edges, violations, graph_out)
+    if status == 0:
+        print(f"lint_layering: {len(edges)} include edges across "
+              f"{len({e.includer for e in edges})} files, 0 violations")
+    return status
+
+
+def tree_roots(source_root: Path, build_dir: Path) -> list[Path]:
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.exists():
+        print(f"lint_layering: {db_path} not found (configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+        sys.exit(2)
+    roots: set[Path] = set()
+    for entry in json.loads(db_path.read_text()):
+        path = (Path(entry["directory"]) / entry["file"]).resolve()
+        if path.is_relative_to(source_root):
+            roots.add(path)
+    if not roots:
+        print("lint_layering: compile_commands.json lists no src/ "
+              "translation units", file=sys.stderr)
+        sys.exit(2)
+    # Orphan headers (not yet reachable from any TU) still obey the rules.
+    roots.update(source_root.rglob("*.h"))
+    return sorted(roots)
+
+
+def self_test() -> int:
+    ok = True
+    clean_root = FIXTURE_DIR / "clean_tree"
+    bad_root = FIXTURE_DIR / "violation_tree"
+    empty = Path(tempfile.mkstemp(suffix=".allowlist")[1])
+    empty.write_text("# empty\n")
+
+    def run(source_root: Path, allowlist: Path):
+        roots = sorted(source_root.rglob("*.cc")) + \
+            sorted(source_root.rglob("*.h"))
+        edges = collect_edges(source_root, roots)
+        return edges, *check_edges(edges, load_allowlist(allowlist))
+
+    # 1. The clean mini-tree must pass.
+    _, violations, _ = run(clean_root, empty)
+    if violations:
+        print(f"self-test: clean tree reported violations: {violations}",
+              file=sys.stderr)
+        ok = False
+
+    # 2. The violating mini-tree must be flagged exactly at its markers.
+    expected: set[tuple[str, int]] = set()
+    for path in bad_root.rglob("*"):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        rel = path.relative_to(bad_root).as_posix()
+        for lineno, line in enumerate(path.read_text().splitlines(),
+                                      start=1):
+            if EXPECT_RE.search(line):
+                expected.add((rel, lineno))
+    _, violations, _ = run(bad_root, empty)
+    got = {(v[0].includer, v[0].line) for v in violations}
+    for miss in sorted(expected - got):
+        print(f"self-test: expected violation not reported: {miss}",
+              file=sys.stderr)
+        ok = False
+    for extra in sorted(got - expected):
+        print(f"self-test: unexpected violation: {extra}", file=sys.stderr)
+        ok = False
+
+    # 3. Allowlisting every violating edge silences the scan...
+    waiver = Path(tempfile.mkstemp(suffix=".allowlist")[1])
+    waiver.write_text("\n".join(
+        f"{v[0].includer} -> {v[0].included}" for v in violations) + "\n")
+    edges, still, used = run(bad_root, waiver)
+    if still:
+        print(f"self-test: allowlisted edges still reported: {still}",
+              file=sys.stderr)
+        ok = False
+
+    # 4. ...and a stale entry is an error in its own right.
+    stale = Path(tempfile.mkstemp(suffix=".allowlist")[1])
+    stale.write_text("util/nonexistent.h -> server/nothing.h\n")
+    _, _, used = run(clean_root, stale)
+    stale_entries = [raw for _, _, raw in load_allowlist(stale)
+                     if raw not in used]
+    if not stale_entries:
+        print("self-test: stale allowlist entry was not detected",
+              file=sys.stderr)
+        ok = False
+
+    for tmp in (empty, waiver, stale):
+        tmp.unlink(missing_ok=True)
+    print("lint_layering self-test:",
+          "ok" if ok else "FAILED", file=sys.stderr if not ok else
+          sys.stdout)
+    return 0 if ok else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--source-root", type=Path,
+                        default=REPO_ROOT / "src")
+    parser.add_argument("--build-dir", type=Path,
+                        default=REPO_ROOT / "build")
+    parser.add_argument("--allowlist", type=Path,
+                        default=REPO_ROOT / "scripts" /
+                        "layering_allowlist.txt")
+    parser.add_argument("--graph", type=Path, default=None,
+                        help="write the layer-level include DAG as DOT")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    source_root = args.source_root.resolve()
+    roots = tree_roots(source_root, args.build_dir)
+    return scan(source_root, roots, args.allowlist, args.graph)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Driver for the in-tree vod-* clang-tidy plugin (tools/vod_tidy).
+
+Two modes, mirroring scripts/lint_determinism.py:
+
+  --self-test   Runs the plugin over tools/vod_tidy/fixtures/*.cc and
+                compares the emitted vod-* warnings against the
+                `// LINT-EXPECT: <check>` markers in each fixture,
+                requiring an exact (file, line, check) match in both
+                directions, plus every check exercised by at least one
+                positive AND one negative fixture.
+
+  tree scan     Runs the plugin over every src/ translation unit in
+                compile_commands.json and fails on any vod-* finding.
+                The tree is expected to be clean: true violations get
+                fixed, deliberate exceptions go in the per-check
+                ApprovedFiles option (set in the check's defaults).
+
+Exit status: 0 clean, 1 findings/self-test mismatch, 2 usage/environment.
+
+The plugin must already be built (the vod_tidy_checks CMake target; CI
+builds it against the clang-tools-extra headers matching the pinned
+clang-tidy). This script never builds anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE_DIR = REPO_ROOT / "tools" / "vod_tidy" / "fixtures"
+
+ALL_CHECKS = (
+    "vod-raw-slot-modulo",
+    "vod-macro-side-effects",
+    "vod-rng-discipline",
+    "vod-float-slot-accumulation",
+)
+
+EXPECT_RE = re.compile(r"//\s*LINT-EXPECT:\s*([a-z0-9-]+)")
+# clang-tidy finding lines: "<file>:<line>:<col>: warning: <msg> [<check>]"
+FINDING_RE = re.compile(
+    r"^(?P<file>[^:\s][^:]*):(?P<line>\d+):\d+:\s+warning:\s.*\[(?P<check>[^\]]+)\]\s*$"
+)
+
+
+def fail(msg: str) -> None:
+    print(f"run_vod_tidy: {msg}", file=sys.stderr)
+
+
+def run_clang_tidy(clang_tidy: str, plugin: str, source: Path,
+                   extra_args: list[str]) -> tuple[list[tuple[str, int, str]], str, int]:
+    """Runs clang-tidy on one TU; returns (vod findings, raw output, rc)."""
+    cmd = [
+        clang_tidy,
+        f"--load={plugin}",
+        "--checks=-*,vod-*",
+        "--quiet",
+        str(source),
+    ] + extra_args
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if not m:
+            continue
+        check = m.group("check")
+        if not check.startswith("vod-"):
+            continue
+        findings.append((os.path.realpath(m.group("file")),
+                         int(m.group("line")), check))
+    return findings, proc.stdout + proc.stderr, proc.returncode
+
+
+def expected_markers(source: Path) -> list[tuple[str, int, str]]:
+    out = []
+    for lineno, line in enumerate(source.read_text().splitlines(), start=1):
+        for m in EXPECT_RE.finditer(line):
+            out.append((str(source.resolve()), lineno, m.group(1)))
+    return out
+
+
+def self_test(clang_tidy: str, plugin: str) -> int:
+    fixtures = sorted(FIXTURE_DIR.glob("*.cc"))
+    if not fixtures:
+        fail(f"no fixtures under {FIXTURE_DIR}")
+        return 2
+    ok = True
+    exercised_positive: set[str] = set()
+    exercised_negative: set[str] = set()
+    for fixture in fixtures:
+        expected = set(expected_markers(fixture))
+        findings, raw, rc = run_clang_tidy(
+            clang_tidy, plugin, fixture, ["--", "-std=c++20"])
+        if "error:" in raw:
+            fail(f"{fixture.name}: fixture failed to compile (rc={rc}):\n{raw}")
+            ok = False
+            continue
+        got = set(findings)
+        for miss in sorted(expected - got):
+            fail(f"{fixture.name}:{miss[1]}: expected {miss[2]}, not emitted")
+            ok = False
+        for extra in sorted(got - expected):
+            fail(f"{fixture.name}:{extra[1]}: unexpected {extra[2]}")
+            ok = False
+        checks_here = {c for (_, _, c) in expected}
+        exercised_positive |= checks_here
+        # A clean fixture for check X is one named after X with no markers.
+        if not expected:
+            for check in ALL_CHECKS:
+                if check.replace("vod-", "").replace("-", "_") in fixture.name:
+                    exercised_negative.add(check)
+        status = "ok" if expected == got else "MISMATCH"
+        print(f"  {fixture.name}: {len(got)} finding(s), "
+              f"{len(expected)} expected -- {status}")
+    for check in ALL_CHECKS:
+        if check not in exercised_positive:
+            fail(f"no positive fixture exercises {check}")
+            ok = False
+        if check not in exercised_negative:
+            fail(f"no negative (clean) fixture exercises {check}")
+            ok = False
+    if ok:
+        print(f"self-test: {len(fixtures)} fixtures, "
+              f"all {len(ALL_CHECKS)} checks exercised both ways")
+    return 0 if ok else 1
+
+
+def tree_scan(clang_tidy: str, plugin: str, build_dir: Path,
+              jobs: int) -> int:
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.exists():
+        fail(f"{db_path} not found (configure with "
+             "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+        return 2
+    database = json.loads(db_path.read_text())
+    src_root = str(REPO_ROOT / "src") + os.sep
+    sources = sorted({
+        os.path.realpath(os.path.join(entry["directory"], entry["file"]))
+        for entry in database
+        if os.path.realpath(os.path.join(entry["directory"],
+                                        entry["file"])).startswith(src_root)
+    })
+    if not sources:
+        fail("compile_commands.json lists no src/ translation units")
+        return 2
+
+    all_findings: list[tuple[str, int, str]] = []
+    hard_errors: list[str] = []
+
+    def scan(source: str):
+        return run_clang_tidy(clang_tidy, plugin, Path(source),
+                              ["-p", str(build_dir)])
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for source, (findings, raw, rc) in zip(
+                sources, pool.map(scan, sources)):
+            if rc != 0 and "error:" in raw:
+                hard_errors.append(f"{source}: clang-tidy failed:\n{raw}")
+            all_findings.extend(findings)
+
+    for err in hard_errors:
+        fail(err)
+    for path, line, check in sorted(set(all_findings)):
+        rel = os.path.relpath(path, REPO_ROOT)
+        print(f"{rel}:{line}: {check}")
+    if all_findings or hard_errors:
+        fail(f"{len(set(all_findings))} finding(s) across "
+             f"{len(sources)} translation units")
+        return 1
+    print(f"tree scan: {len(sources)} src/ translation units, 0 findings")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary (must match the headers the "
+                             "plugin was built against)")
+    parser.add_argument("--plugin", required=True,
+                        help="path to libvod_tidy_checks.so")
+    parser.add_argument("--build-dir", type=Path,
+                        default=REPO_ROOT / "build",
+                        help="build tree with compile_commands.json")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture self-test instead of the "
+                             "tree scan")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    args = parser.parse_args()
+
+    if not Path(args.plugin).exists():
+        fail(f"plugin not found: {args.plugin}")
+        return 2
+    if args.self_test:
+        return self_test(args.clang_tidy, args.plugin)
+    return tree_scan(args.clang_tidy, args.plugin, args.build_dir, args.jobs)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,13 +3,19 @@
 #include <algorithm>
 #include <numeric>
 
-#ifdef VOD_AUDIT
-#include "analysis/schedule_auditor.h"
-#endif
 #include "obs/trace.h"
 #include "util/check.h"
 
 namespace vod {
+
+#ifdef VOD_AUDIT
+// Implemented in analysis/schedule_auditor.cc. Declared here instead of
+// including the header: analysis sits above every engine layer and nothing
+// below it may depend on it (scripts/lint_layering.py), so audit builds
+// reach the auditor through this forward declaration — a link-time hook,
+// not an include edge.
+void audit_or_die(const DhbScheduler& scheduler);
+#endif
 namespace {
 
 // Work-unit prices (total_work_units()). A sharing check costs one unit in
@@ -59,6 +65,10 @@ DhbScheduler::DhbScheduler(const DhbConfig& config)
     : config_(config),
       periods_(resolve_periods(config)),
       window_(*std::max_element(periods_.begin(), periods_.end())),
+      use_index_(config.use_placement_index &&
+                 static_cast<uint64_t>(config.num_segments) *
+                         static_cast<uint64_t>(window_) >=
+                     config.placement_index_cutover),
       sum_periods_(std::accumulate(periods_.begin(), periods_.end(),
                                    uint64_t{0},
                                    [](uint64_t acc, int t) {
@@ -205,7 +215,7 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
   const Slot arrival = schedule_.now();
   const int n = last_segment;
   const int cap = config_.client_stream_cap;
-  const bool fast = config_.use_placement_index;
+  const bool fast = use_index_;
   if (first_segment != 1) had_clamped_admissions_ = true;
 
   DhbRequestResult result;
@@ -345,7 +355,7 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
   memo_valid_ = false;
   const Slot arrival = schedule_.now();
   const int n = config_.num_segments;
-  const bool fast = config_.use_placement_index;
+  const bool fast = use_index_;
 
   // Tentative additions per window slot; nothing touches the schedule
   // until every segment has found a home. Index mode records the tentative

@@ -67,6 +67,20 @@ struct DhbConfig {
   // invariant), so followers are answered in O(1) without touching the
   // schedule. Bit-identical results and counters either way.
   bool coalesce_same_slot = true;
+  // Adaptive cutover for the placement index: with use_placement_index on,
+  // the O(log W) range-min index only engages when num_segments * window
+  // reaches this product; smaller videos run the naive prefix scan, whose
+  // constant factor wins below the threshold (BENCH_admission.json showed
+  // the index *losing* 0.56x wall clock at n=20 before the cutover).
+  // Measured crossover (CBR, so window = n): the index first beats the
+  // scan near n*window ~ 2.5e4 at sparse arrivals and ~6e4 at dense ones,
+  // where coalescing absorbs most placements anyway — so the default picks
+  // the low-rate knee, rounded to a power of two. 0 disables the cutover
+  // (the index always engages — the differential-testing mode).
+  // Decisions are bit-identical on both sides of the threshold; only
+  // total_work_units() accounting differs (naive queries charge the window
+  // width).
+  uint64_t placement_index_cutover = 32768;
 };
 
 struct DhbRequestResult {
@@ -129,6 +143,13 @@ class DhbScheduler {
   const std::vector<int>& periods() const { return periods_; }
   int num_segments() const { return config_.num_segments; }
   const DhbConfig& config() const { return config_; }
+
+  // True when admissions run through the range-min placement index: the
+  // config asks for it AND the video clears the adaptive cutover
+  // (num_segments * window >= placement_index_cutover). Fixed at
+  // construction; exposed so benches and tests can assert which side of
+  // the cutover a configuration landed on.
+  bool placement_index_active() const { return use_index_; }
 
   // True once any clamped-window admission (on_resume / mid-video
   // on_range) has run. Such admissions may legally schedule a second
@@ -195,6 +216,7 @@ class DhbScheduler {
   DhbConfig config_;
   std::vector<int> periods_;  // resolved T[], index j-1
   int window_;                // max_j T[j]
+  bool use_index_;            // placement_index_active(): cutover resolved
   uint64_t sum_periods_;      // sum_j T[j]: the probe charge of one request
   SlotSchedule schedule_;
   Rng rng_;

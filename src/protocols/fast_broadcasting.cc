@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "schedule/slot_math.h"
 #include "util/check.h"
 
 namespace vod {
@@ -21,9 +22,8 @@ Segment FbMapping::segment_at(int stream, Slot slot) const {
   VOD_DCHECK(stream >= 0 && stream < streams());
   VOD_DCHECK(slot >= 1);
   const size_t k = static_cast<size_t>(stream);
-  const int len = count_[k];
-  return static_cast<Segment>(first_[k] +
-                              static_cast<int>((slot - 1) % len));
+  return static_cast<Segment>(
+      first_[k] + static_cast<int>(cycle_phase(slot, count_[k])));
 }
 
 int FbMapping::stream_of(Segment j) const {

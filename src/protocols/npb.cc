@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "schedule/slot_math.h"
 #include "util/check.h"
 
 namespace vod {
@@ -87,7 +88,7 @@ Segment NpbMapping::segment_at(int stream, Slot slot) const {
   VOD_DCHECK(stream >= 0 && stream < streams_);
   VOD_DCHECK(slot >= 1);
   for (const Entry& e : per_stream_[static_cast<size_t>(stream)]) {
-    if ((slot - 1) % e.stride == e.offset) return e.segment;
+    if (stride_hits(slot, e.stride, e.offset)) return e.segment;
   }
   return 0;
 }
@@ -122,7 +123,7 @@ MappingValidation NpbMapping::validate() const {
       for (size_t b = a + 1; b < entries.size(); ++b) {
         const Entry& eb = entries[b];
         const Slot g = std::gcd(ea.stride, eb.stride);
-        if ((ea.offset - eb.offset) % g == 0) {
+        if (congruent_mod(ea.offset, eb.offset, g)) {
           std::ostringstream os;
           os << "S" << ea.segment << " and S" << eb.segment
              << " collide on one stream";

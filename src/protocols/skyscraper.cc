@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "schedule/slot_math.h"
 #include "util/check.h"
 
 namespace vod {
@@ -46,8 +47,8 @@ Segment SbMapping::segment_at(int stream, Slot slot) const {
   VOD_DCHECK(stream >= 0 && stream < streams());
   VOD_DCHECK(slot >= 1);
   const size_t k = static_cast<size_t>(stream);
-  return static_cast<Segment>(first_[k] +
-                              static_cast<int>((slot - 1) % count_[k]));
+  return static_cast<Segment>(
+      first_[k] + static_cast<int>(cycle_phase(slot, count_[k])));
 }
 
 int SbMapping::streams_for(int num_segments) {

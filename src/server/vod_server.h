@@ -75,6 +75,17 @@ class VodServer {
 
   // Sessions currently watching or paused.
   int active_sessions() const;
+  // Every session id (any state) in table-iteration order — the order
+  // advance_slot() and active_sessions() walk. The ordered map pins it
+  // ascending-by-id no matter how VCR operations interleave;
+  // tests/vod_server_order_test.cc asserts exactly that, so swapping the
+  // container for an unordered one cannot silently reorder the walks.
+  std::vector<ClientId> session_ids() const {
+    std::vector<ClientId> ids;
+    ids.reserve(sessions_.size());
+    for (const auto& [id, info] : sessions_) ids.push_back(id);
+    return ids;
+  }
   // Channels busy during the current slot / the most ever needed at once.
   int channels_in_use() const { return channels_in_use_; }
   int peak_channels() const { return peak_channels_; }

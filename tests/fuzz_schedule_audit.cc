@@ -293,6 +293,10 @@ void run_mode_diff(const FuzzConfig& fc, uint64_t* checked) {
   base.heuristic_seed = fc.seed * 7 + 1;
   DhbConfig fast_config = base;
   fast_config.use_placement_index = true;
+  // Cutover 0: always exercise the index, even for videos small enough
+  // that the adaptive cutover would route production traffic to the naive
+  // scan (the fuzzer's whole point is diffing the two implementations).
+  fast_config.placement_index_cutover = 0;
   fast_config.coalesce_same_slot = true;
   DhbConfig naive_config = base;
   naive_config.use_placement_index = false;

@@ -1,0 +1,170 @@
+// Wrap-seam property tests for the placement fast path.
+//
+// The ring wrap is where LoadIndex/SlotSchedule composition historically
+// broke (DESIGN.md §9): a slot window (lo, hi] maps to at most two
+// contiguous position ranges, and the tie-break has to prefer the *late*
+// range even though its ring positions are numerically smaller. These
+// tests sweep every small ring size exhaustively — every seam position,
+// every (lo, hi) window, overlays on and off — against the literal linear
+// scan the paper's Figure 6 specifies. tests/load_index_test.cc covers
+// the directed cases; this file is the exhaustive small-space property.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "schedule/load_index.h"
+#include "schedule/slot_schedule.h"
+#include "sim/random.h"
+
+namespace vod {
+namespace {
+
+// Reference scan over plain values: min over [a, b], ties latest/earliest.
+std::pair<int, size_t> naive_min(const std::vector<int>& v, size_t a,
+                                 size_t b, bool latest) {
+  int best = v[a];
+  size_t pos = a;
+  for (size_t p = a; p <= b; ++p) {
+    if (v[p] < best || (latest && v[p] == best)) {
+      best = v[p];
+      pos = p;
+    }
+  }
+  return {best, pos};
+}
+
+TEST(LoadIndexWrap, ExhaustiveSmallRingsAgainstNaiveScan) {
+  // Ring sizes 1..9 (1 and 2 hit the degenerate trees: a single leaf and
+  // the smallest power-of-two padding). For each size, a randomized value
+  // walk checking EVERY (a, b) range after every update — exhaustive in
+  // the query space, randomized only in the values.
+  for (size_t size = 1; size <= 9; ++size) {
+    Rng rng(1000 + size);
+    LoadIndex idx(size);
+    std::vector<int> ref(size, 0);
+    for (int step = 0; step < 60; ++step) {
+      const size_t pos = rng.uniform_index(size);
+      const int delta = static_cast<int>(rng.uniform_index(7)) - 3;
+      idx.add(pos, delta);
+      ref[pos] += delta;
+      for (size_t a = 0; a < size; ++a) {
+        for (size_t b = a; b < size; ++b) {
+          const auto [want_min_l, want_pos_l] = naive_min(ref, a, b, true);
+          const auto [want_min_e, want_pos_e] = naive_min(ref, a, b, false);
+          const LoadIndex::MinResult latest = idx.min_latest(a, b);
+          const LoadIndex::MinResult earliest = idx.min_earliest(a, b);
+          ASSERT_EQ(latest.load, want_min_l)
+              << "size " << size << " step " << step << " [" << a << ","
+              << b << "]";
+          ASSERT_EQ(latest.pos, want_pos_l);
+          ASSERT_EQ(earliest.load, want_min_e);
+          ASSERT_EQ(earliest.pos, want_pos_e);
+        }
+      }
+    }
+  }
+}
+
+// Reference for SlotSchedule: scan load() + overlay over slots [lo, hi].
+SlotSchedule::MinLoad naive_window_min(
+    const SlotSchedule& s, const std::map<Slot, int>& overlay, Slot lo,
+    Slot hi, bool latest) {
+  SlotSchedule::MinLoad out;
+  for (Slot t = lo; t <= hi; ++t) {
+    const auto it = overlay.find(t);
+    const int load = s.load(t) + (it == overlay.end() ? 0 : it->second);
+    if (out.slot == 0 || load < out.load || (latest && load == out.load)) {
+      out.slot = t;
+      out.load = load;
+    }
+  }
+  return out;
+}
+
+TEST(SlotScheduleWrap, SeamSweepEveryWindowEveryOffset) {
+  // Windows 1..9 (ring sizes 2..10). For every window, park the seam at
+  // every ring offset by advancing 0..2*ring slots, lay down random
+  // instances, then check every admissible (lo, hi) window — with and
+  // without overlay deltas — against the naive scan. This is the full
+  // cross product of (ring size) x (seam position) x (query window).
+  for (int window = 1; window <= 9; ++window) {
+    const int ring = window + 1;
+    for (int advances = 0; advances <= 2 * ring; ++advances) {
+      Rng rng(77 * window + advances);
+      SlotSchedule s(/*num_segments=*/window, window);
+      for (int i = 0; i < advances; ++i) s.advance();
+      ASSERT_EQ(s.now(), advances);
+
+      // Random load pattern over the live window (now, now + window].
+      const int placements = static_cast<int>(rng.uniform_index(
+          static_cast<size_t>(2 * window) + 1));
+      for (int i = 0; i < placements; ++i) {
+        const Segment j =
+            static_cast<Segment>(1 + rng.uniform_index(window));
+        const Slot slot =
+            s.now() + 1 + static_cast<Slot>(rng.uniform_index(window));
+        s.add_instance(j, slot);
+      }
+
+      for (int with_overlay = 0; with_overlay <= 1; ++with_overlay) {
+        std::map<Slot, int> overlay;
+        if (with_overlay) {
+          // A few transient deltas, including on the seam-adjacent slots.
+          const int n = 1 + static_cast<int>(rng.uniform_index(3));
+          for (int i = 0; i < n; ++i) {
+            const Slot slot =
+                s.now() + 1 + static_cast<Slot>(rng.uniform_index(window));
+            const int delta = 1 + static_cast<int>(rng.uniform_index(3));
+            s.add_load_overlay(slot, delta);
+            overlay[slot] += delta;
+          }
+        }
+        for (Slot lo = s.now() + 1; lo <= s.now() + window; ++lo) {
+          for (Slot hi = lo; hi <= s.now() + window; ++hi) {
+            const SlotSchedule::MinLoad want_l =
+                naive_window_min(s, overlay, lo, hi, true);
+            const SlotSchedule::MinLoad want_e =
+                naive_window_min(s, overlay, lo, hi, false);
+            const SlotSchedule::MinLoad got_l = s.min_load_latest(lo, hi);
+            const SlotSchedule::MinLoad got_e = s.min_load_earliest(lo, hi);
+            ASSERT_EQ(got_l.slot, want_l.slot)
+                << "window " << window << " advances " << advances
+                << " overlay " << with_overlay << " [" << lo << "," << hi
+                << "]";
+            ASSERT_EQ(got_l.load, want_l.load);
+            ASSERT_EQ(got_e.slot, want_e.slot);
+            ASSERT_EQ(got_e.load, want_e.load);
+          }
+        }
+        if (with_overlay) s.clear_load_overlay();
+      }
+    }
+  }
+}
+
+TEST(SlotScheduleWrap, SeamTieAlwaysPrefersLateRange) {
+  // Directed: all-equal loads across the seam for every window size. The
+  // "latest" winner must be the numerically largest slot (late range,
+  // small ring positions); "earliest" the smallest (pre-seam, large ring
+  // positions). This is the exact composition rule that broke once.
+  for (int window = 2; window <= 9; ++window) {
+    SlotSchedule s(window, window);
+    const int ring = window + 1;
+    // Advance to now = ring - 2: the window's first slot lands on the last
+    // ring position and everything after it wraps to positions 0.. — the
+    // seam sits right after lo, so latest-vs-earliest must cross it.
+    for (int i = 0; i < ring - 2; ++i) s.advance();
+    for (int k = 1; k <= window; ++k) {
+      s.add_instance(static_cast<Segment>(k), s.now() + k);
+    }
+    const Slot lo = s.now() + 1;
+    const Slot hi = s.now() + window;
+    EXPECT_EQ(s.min_load_latest(lo, hi).slot, hi) << "window " << window;
+    EXPECT_EQ(s.min_load_earliest(lo, hi).slot, lo) << "window " << window;
+  }
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,75 @@
+#include "FloatSlotAccumulationCheck.h"
+
+#include "VodCheckUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/Twine.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace vod {
+
+FloatSlotAccumulationCheck::FloatSlotAccumulationCheck(
+    StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      SlotNameRegexRaw(
+          (llvm::Twine() + Options.get("SlotNameRegex", kDefaultSlotNameRegex))
+              .str()),
+      SlotNameRegex(SlotNameRegexRaw) {}
+
+void FloatSlotAccumulationCheck::storeOptions(
+    ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "SlotNameRegex", SlotNameRegexRaw);
+}
+
+void FloatSlotAccumulationCheck::registerMatchers(MatchFinder *Finder) {
+  // Pattern 1: float induction variable; the slot question about the
+  // condition is answered in check().
+  Finder->addMatcher(
+      forStmt(hasLoopInit(declStmt(hasSingleDecl(
+                  varDecl(hasType(realFloatingPointType())).bind("ivar")))))
+          .bind("loop"),
+      this);
+  // Pattern 2: compound accumulation into a float.
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("+=", "-="),
+                     hasLHS(expr(hasType(realFloatingPointType()))))
+          .bind("accum"),
+      this);
+}
+
+void FloatSlotAccumulationCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  if (const auto *Loop = Result.Nodes.getNodeAs<ForStmt>("loop")) {
+    const auto *IVar = Result.Nodes.getNodeAs<VarDecl>("ivar");
+    const SourceLocation Loc = IVar->getLocation();
+    if (Loc.isMacroID()) return;
+    if (!isSlotLikeExpr(Loop->getCond(), SlotNameRegex)) return;
+    diag(Loc,
+         "floating-point induction variable %0 iterates the slot domain; "
+         "slots are exact integers — loop on Slot and convert only for "
+         "reporting")
+        << IVar;
+    return;
+  }
+
+  const auto *Op = Result.Nodes.getNodeAs<BinaryOperator>("accum");
+  const SourceLocation Loc = Op->getOperatorLoc();
+  if (Loc.isMacroID()) return;
+  const Expr *Rhs = Op->getRHS()->IgnoreParenImpCasts();
+  // static_cast<double>(...) (or any explicit cast) marks the exit from
+  // the integer slot domain as intentional.
+  if (isa<ExplicitCastExpr>(Rhs)) return;
+  if (!isSlotLikeExpr(Rhs, SlotNameRegex)) return;
+  diag(Loc,
+       "slot-domain value accumulated into floating point; keep slot and "
+       "stream-count sums in integers (cast explicitly at the reporting "
+       "boundary if a ratio is needed)");
+}
+
+}  // namespace vod
+}  // namespace tidy
+}  // namespace clang

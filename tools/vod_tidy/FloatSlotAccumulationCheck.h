@@ -1,0 +1,55 @@
+// vod-float-slot-accumulation
+//
+// Flags floating-point arithmetic creeping into slot-domain accounting.
+// Slots and per-slot stream counts are exact integers; the protocol's
+// bandwidth figures (Figures 7-9) are sums of those integers, and the
+// repo's reproduction pins them bit-exactly. Accumulating them through
+// float/double loses exactness silently past 2^53 — and, worse,
+// non-associatively, so per-shard partial sums stop agreeing with the
+// sequential oracle.
+//
+// Two patterns are flagged:
+//
+// 1. Float induction: a for-loop whose init declares a floating-point
+//    loop variable while the loop condition talks about slots — iterating
+//    the slot clock in floating point.
+//
+// 2. Float accumulation: `f += e` / `f -= e` where f is floating-point
+//    and e is slot-like *without* a top-level explicit cast. Spelling
+//    `f += static_cast<double>(e)` is the sanctioned idiom for the final
+//    hop into reporting code: the cast marks the domain exit as
+//    intentional (and keeps -Wconversion quiet), so it is exempt.
+//
+// Options:
+//   SlotNameRegex  identifier fallback pattern for slot-likeness (default:
+//                  kDefaultSlotNameRegex in VodCheckUtils.h).
+#pragma once
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang {
+namespace tidy {
+namespace vod {
+
+class FloatSlotAccumulationCheck : public ClangTidyCheck {
+ public:
+  FloatSlotAccumulationCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string SlotNameRegexRaw;
+  llvm::Regex SlotNameRegex;
+};
+
+}  // namespace vod
+}  // namespace tidy
+}  // namespace clang

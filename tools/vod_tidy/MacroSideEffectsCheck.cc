@@ -1,0 +1,88 @@
+#include "MacroSideEffectsCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Lex/Lexer.h"
+#include "llvm/ADT/Twine.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace vod {
+
+namespace {
+constexpr char kDefaultMacros[] =
+    "VOD_TRACE_INSTANT;VOD_TRACE_COUNTER;VOD_TRACE_WALL_SPAN;VOD_METRIC_INC;"
+    "VOD_AUDIT;VOD_DCHECK;VOD_DCHECK_SERIAL";
+}  // namespace
+
+MacroSideEffectsCheck::MacroSideEffectsCheck(StringRef Name,
+                                             ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      MacrosRaw(
+          (llvm::Twine() + Options.get("Macros", kDefaultMacros)).str()) {
+  llvm::SmallVector<llvm::StringRef, 8> Parts;
+  llvm::StringRef(MacrosRaw).split(Parts, ';', /*MaxSplit=*/-1,
+                                   /*KeepEmpty=*/false);
+  for (llvm::StringRef P : Parts) {
+    P = P.trim();
+    if (!P.empty()) Macros.insert(P);
+  }
+}
+
+void MacroSideEffectsCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "Macros", MacrosRaw);
+}
+
+void MacroSideEffectsCheck::registerMatchers(MatchFinder *Finder) {
+  // Each side-effect form binds as "effect"; the macro question is a
+  // source-location property, answered in check().
+  Finder->addMatcher(
+      unaryOperator(hasAnyOperatorName("++", "--")).bind("effect"), this);
+  Finder->addMatcher(binaryOperator(isAssignmentOperator()).bind("effect"),
+                     this);
+  Finder->addMatcher(
+      cxxOperatorCallExpr(isAssignmentOperator()).bind("effect"), this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(unless(callee(cxxMethodDecl(isConst()))))
+          .bind("effect"),
+      this);
+}
+
+void MacroSideEffectsCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *E = Result.Nodes.getNodeAs<Expr>("effect");
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Loc = E->getBeginLoc();
+  if (!Loc.isMacroID()) return;
+
+  // Climb the expansion chain. At each level, resolve the macro whose
+  // expansion produced the location. Hitting a listed macro decides the
+  // verdict at that level:
+  //   * the location is a macro-argument expansion -> caller-written
+  //     expression inside the listed macro's parentheses: flag it;
+  //   * otherwise the expression lives in the listed macro's own body:
+  //     the macro owns it, stay silent.
+  // Unlisted macros are climbed through, so an argument that reaches a
+  // listed macro via a helper-macro hop is still attributed to the listed
+  // macro.
+  while (Loc.isValid() && Loc.isMacroID()) {
+    const StringRef MacroName =
+        Lexer::getImmediateMacroName(Loc, SM, getLangOpts());
+    if (Macros.count(MacroName) != 0) {
+      if (SM.isMacroArgExpansion(Loc)) {
+        diag(SM.getFileLoc(Loc),
+             "side effect in argument of %0, which compiles out in some "
+             "build configurations; hoist the effect out of the macro")
+            << MacroName;
+      }
+      return;
+    }
+    Loc = SM.getImmediateMacroCallerLoc(Loc);
+  }
+}
+
+}  // namespace vod
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,51 @@
+// vod-macro-side-effects
+//
+// Flags side-effecting expressions passed as arguments to macros that
+// compile out in some build configurations: the VOD_TRACE_* /
+// VOD_METRIC_INC observability macros (gone under VOD_OBSERVE_DISABLED)
+// and the VOD_DCHECK* family (gone under NDEBUG). A side effect inside
+// such an argument makes program behavior depend on the build flavor —
+// the exact divergence the repo's determinism discipline exists to
+// prevent.
+//
+// Side effects recognized: ++/--, any (compound) assignment including
+// overloaded operators, and calls to non-const member functions.
+//
+// The check distinguishes macro *arguments* from macro *bodies*: an
+// expression spelled inside the macro's own definition (e.g. the
+// `->inc()` in VOD_METRIC_INC's body) belongs to the macro and is never
+// flagged; only expressions the caller wrote into the parentheses are.
+//
+// Options:
+//   Macros  semicolon list of macro names whose arguments must be pure
+//           (default: the compiled-out families above).
+#pragma once
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/StringSet.h"
+
+namespace clang {
+namespace tidy {
+namespace vod {
+
+class MacroSideEffectsCheck : public ClangTidyCheck {
+ public:
+  MacroSideEffectsCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string MacrosRaw;
+  llvm::StringSet<> Macros;
+};
+
+}  // namespace vod
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,65 @@
+#include "RawSlotModuloCheck.h"
+
+#include "VodCheckUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/Twine.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace vod {
+
+namespace {
+constexpr char kDefaultApprovedFiles[] =
+    "schedule/slot_math.h;schedule/slot_schedule;schedule/load_index";
+}  // namespace
+
+RawSlotModuloCheck::RawSlotModuloCheck(StringRef Name,
+                                       ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      // Twine round-trip: OptionsView::get returned std::string before
+      // LLVM 16 and StringRef after; Twine swallows both.
+      ApprovedFilesRaw(
+          (llvm::Twine() + Options.get("ApprovedFiles", kDefaultApprovedFiles))
+              .str()),
+      SlotNameRegexRaw(
+          (llvm::Twine() + Options.get("SlotNameRegex", kDefaultSlotNameRegex))
+              .str()),
+      ApprovedFiles(splitOptionList(ApprovedFilesRaw)),
+      SlotNameRegex(SlotNameRegexRaw) {}
+
+void RawSlotModuloCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "ApprovedFiles", ApprovedFilesRaw);
+  Options.store(Opts, "SlotNameRegex", SlotNameRegexRaw);
+}
+
+void RawSlotModuloCheck::registerMatchers(MatchFinder *Finder) {
+  // binaryOperator also covers CompoundAssignOperator, so one matcher
+  // catches both `a % b` and `a %= b`.
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("%", "%=")).bind("mod"), this);
+}
+
+void RawSlotModuloCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Op = Result.Nodes.getNodeAs<BinaryOperator>("mod");
+  const SourceManager &SM = *Result.SourceManager;
+  const SourceLocation Loc = Op->getOperatorLoc();
+  // Expressions materialized by macro bodies are the macro owner's
+  // responsibility; arguments still get flagged at their spelling site
+  // when the TU also contains them outside the macro.
+  if (Loc.isMacroID()) return;
+  if (inApprovedFile(Loc, SM, ApprovedFiles)) return;
+  const bool LhsSlot = isSlotLikeExpr(Op->getLHS(), SlotNameRegex);
+  if (!LhsSlot && !isSlotLikeExpr(Op->getRHS(), SlotNameRegex)) return;
+  diag(Loc,
+       "raw '%0' on slot/segment arithmetic; use cycle_phase/stride_hits/"
+       "congruent_mod from schedule/slot_math.h (or the SlotSchedule ring "
+       "helpers), which carry the wrap-seam preconditions")
+      << Op->getOpcodeStr();
+}
+
+}  // namespace vod
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,51 @@
+// vod-raw-slot-modulo
+//
+// Flags raw `%` / `%=` where either operand is slot-like. Modular slot
+// arithmetic is the codebase's most bug-prone idiom — the load ring's
+// wrap seam produced real historical bugs — so it is quarantined in
+// approved homes: schedule/slot_math.h (cycle_phase, stride_hits,
+// congruent_mod), SlotSchedule::ring_index, and the LoadIndex internals.
+// Everything else must call those helpers, which carry the domain
+// preconditions (1-based slots, offsets within stride) as VOD_DCHECKs.
+//
+// Options:
+//   ApprovedFiles  semicolon list of path substrings where raw slot modulo
+//                  is allowed (default: the three homes above).
+//   SlotNameRegex  identifier fallback pattern for slot-likeness (default:
+//                  kDefaultSlotNameRegex in VodCheckUtils.h).
+//
+// Plain integer index math (`i % 4`, hashing, ring buffers over sizes) is
+// out of scope by construction: it is neither Slot/Segment-typed nor named
+// after the slot domain.
+#pragma once
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang {
+namespace tidy {
+namespace vod {
+
+class RawSlotModuloCheck : public ClangTidyCheck {
+ public:
+  RawSlotModuloCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string ApprovedFilesRaw;
+  const std::string SlotNameRegexRaw;
+  llvm::SmallVector<llvm::StringRef, 8> ApprovedFiles;
+  llvm::Regex SlotNameRegex;
+};
+
+}  // namespace vod
+}  // namespace tidy
+}  // namespace clang

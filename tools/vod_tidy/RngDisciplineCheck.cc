@@ -1,0 +1,140 @@
+#include "RngDisciplineCheck.h"
+
+#include "VodCheckUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/Twine.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace vod {
+
+namespace {
+
+constexpr char kDefaultApprovedFiles[] = "sim/";
+
+// The declaration an Rng-valued expression names, when it names one
+// directly (variable, member, or parameter); nullptr for temporaries and
+// computed objects, which the fork-tracking rule conservatively skips.
+const Decl *referencedRngDecl(const Expr *E) {
+  if (E == nullptr) return nullptr;
+  E = E->IgnoreParenImpCasts();
+  if (const auto *DRE = dyn_cast<DeclRefExpr>(E)) return DRE->getDecl();
+  if (const auto *ME = dyn_cast<MemberExpr>(E)) return ME->getMemberDecl();
+  return nullptr;
+}
+
+// True when some declaration referenced inside E has "seed" in its name —
+// the visible-provenance escape hatch for rule 1.
+bool mentionsSeedDecl(const Expr *E) {
+  if (E == nullptr) return false;
+  llvm::SmallVector<const Stmt *, 16> Work;
+  Work.push_back(E);
+  while (!Work.empty()) {
+    const Stmt *S = Work.pop_back_val();
+    if (S == nullptr) continue;
+    const NamedDecl *D = nullptr;
+    if (const auto *DRE = dyn_cast<DeclRefExpr>(S)) {
+      D = DRE->getDecl();
+    } else if (const auto *ME = dyn_cast<MemberExpr>(S)) {
+      D = ME->getMemberDecl();
+    }
+    if (D != nullptr) {
+      if (const IdentifierInfo *II = D->getIdentifier()) {
+        if (II->getName().lower().find("seed") != std::string::npos) {
+          return true;
+        }
+      }
+    }
+    for (const Stmt *Child : S->children()) Work.push_back(Child);
+  }
+  return false;
+}
+
+}  // namespace
+
+RngDisciplineCheck::RngDisciplineCheck(StringRef Name,
+                                       ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      ApprovedFilesRaw(
+          (llvm::Twine() + Options.get("ApprovedFiles", kDefaultApprovedFiles))
+              .str()),
+      ApprovedFiles(splitOptionList(ApprovedFilesRaw)) {}
+
+void RngDisciplineCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "ApprovedFiles", ApprovedFilesRaw);
+}
+
+void RngDisciplineCheck::registerMatchers(MatchFinder *Finder) {
+  const auto RngClass = cxxRecordDecl(hasName("::vod::Rng"));
+  // Rule 1: one-argument construction (the seed constructor).
+  Finder->addMatcher(
+      cxxConstructExpr(hasDeclaration(cxxConstructorDecl(ofClass(RngClass))),
+                       argumentCountIs(1))
+          .bind("ctor"),
+      this);
+  // Rule 2: every member call on an Rng object, inside a function body.
+  Finder->addMatcher(
+      cxxMemberCallExpr(on(expr(hasType(RngClass)).bind("object")),
+                        forFunction(functionDecl().bind("fn")))
+          .bind("call"),
+      this);
+}
+
+void RngDisciplineCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+
+  if (const auto *Ctor = Result.Nodes.getNodeAs<CXXConstructExpr>("ctor")) {
+    const Expr *Arg = Ctor->getArg(0)->IgnoreParenImpCasts();
+    // Copy/move construction is stream duplication, not seeding; that is
+    // a deliberate operation (e.g. value semantics in containers) and out
+    // of scope here.
+    if (Arg->getType()->getAsCXXRecordDecl() != nullptr) return;
+    const SourceLocation Loc = Ctor->getBeginLoc();
+    if (Loc.isMacroID()) return;
+    if (inApprovedFile(Loc, SM, ApprovedFiles)) return;
+    if (Arg->isValueDependent() ||
+        Arg->isIntegerConstantExpr(*Result.Context)) {
+      return;  // compile-time seed: reproducible by construction
+    }
+    if (mentionsSeedDecl(Arg)) return;  // visibly a seed
+    diag(Loc,
+         "Rng seeded from an expression with no visible seed provenance; "
+         "route the value through a declaration named *seed* or construct "
+         "inside an approved factory (determinism audit trail)");
+    return;
+  }
+
+  const auto *Call = Result.Nodes.getNodeAs<CXXMemberCallExpr>("call");
+  const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  const Decl *Object = referencedRngDecl(Call->getImplicitObjectArgument());
+  if (Object == nullptr || Fn == nullptr) return;
+  const CXXMethodDecl *Method = Call->getMethodDecl();
+  if (Method == nullptr) return;
+  const SourceLocation Loc = Call->getExprLoc();
+  const auto Key = std::make_pair(static_cast<const Decl *>(Fn), Object);
+
+  const IdentifierInfo *MethodId = Method->getIdentifier();
+  if (MethodId != nullptr && MethodId->getName() == "fork") {
+    ForkedAt.insert({Key, Loc});  // keep the first fork site
+    return;
+  }
+  // Draw methods are exactly the non-const members (fork and accessors are
+  // const); a const call can't advance the stream, so it is always safe.
+  if (Method->isConst()) return;
+  const auto It = ForkedAt.find(Key);
+  if (It == ForkedAt.end()) return;
+  if (!SM.isBeforeInTranslationUnit(It->second, Loc)) return;
+  diag(Loc,
+       "parent Rng drawn after fork() in this function; later forks would "
+       "be re-keyed by this draw — draw before forking, or draw from a "
+       "forked child");
+  diag(It->second, "first fork of this Rng was here", DiagnosticIDs::Note);
+}
+
+}  // namespace vod
+}  // namespace tidy
+}  // namespace clang

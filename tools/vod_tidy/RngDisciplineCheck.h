@@ -1,0 +1,57 @@
+// vod-rng-discipline
+//
+// Enforces the repo's two RNG stream-hygiene rules on vod::Rng
+// (sim/random.h, DESIGN.md "Determinism by construction"):
+//
+// 1. Seeding: constructing an Rng from a runtime integral expression that
+//    is neither a compile-time constant nor visibly a seed (no referenced
+//    declaration whose name contains "seed") is flagged outside approved
+//    factory files. This is how wall-clock / address-entropy seeding slips
+//    in — the one thing that breaks run-to-run reproducibility.
+//
+// 2. Fork discipline: once a function calls parent.fork(...), drawing from
+//    that same parent later in the function is flagged. fork(stream_id) is
+//    const and derives child state from the parent's *current* position:
+//    interleaving further parent draws silently re-keys every later fork,
+//    recreating the exact stream-coupling bug the substream design exists
+//    to prevent. Draw before forking, or draw from a child.
+//
+// Options:
+//   ApprovedFiles  path substrings where rule 1 does not apply (default:
+//                  sim/ — the library that implements seeding itself).
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace vod {
+
+class RngDisciplineCheck : public ClangTidyCheck {
+ public:
+  RngDisciplineCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+  void onStartOfTranslationUnit() override { ForkedAt.clear(); }
+
+ private:
+  const std::string ApprovedFilesRaw;
+  llvm::SmallVector<llvm::StringRef, 8> ApprovedFiles;
+
+  // First fork() site per (enclosing function, Rng object) pair, filled in
+  // AST traversal order (= source order within a function body).
+  std::map<std::pair<const Decl *, const Decl *>, SourceLocation> ForkedAt;
+};
+
+}  // namespace vod
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,85 @@
+#include "VodCheckUtils.h"
+
+#include "clang/AST/Decl.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/Basic/SourceManager.h"
+
+namespace clang {
+namespace tidy {
+namespace vod {
+
+const char kDefaultSlotNameRegex[] =
+    "(^|_)(slot|seg|segment|stride|phase|cycle)s?(_|$)";
+
+bool typeMentionsSlotAlias(QualType T) {
+  // Walk the sugar chain one typedef at a time; getAs<> sees through
+  // elaborated/qualified sugar between typedef layers.
+  while (!T.isNull()) {
+    const auto *TT = T->getAs<TypedefType>();
+    if (TT == nullptr) return false;
+    StringRef Name = TT->getDecl()->getName();
+    if (Name == "Slot" || Name == "Segment") return true;
+    T = TT->getDecl()->getUnderlyingType();
+  }
+  return false;
+}
+
+namespace {
+
+bool declIsSlotLike(const ValueDecl *D, const llvm::Regex &NameRegex) {
+  if (D == nullptr) return false;
+  if (typeMentionsSlotAlias(D->getType())) return true;
+  if (const IdentifierInfo *II = D->getIdentifier()) {
+    return NameRegex.match(II->getName().lower());
+  }
+  return false;
+}
+
+}  // namespace
+
+bool isSlotLikeExpr(const Expr *E, const llvm::Regex &NameRegex) {
+  if (E == nullptr) return false;
+  // Iterative preorder walk: the expressions in question are small, but
+  // avoid recursion depth surprises on pathological inputs all the same.
+  llvm::SmallVector<const Stmt *, 16> Work;
+  Work.push_back(E);
+  while (!Work.empty()) {
+    const Stmt *S = Work.pop_back_val();
+    if (S == nullptr) continue;
+    if (const auto *Ex = dyn_cast<Expr>(S)) {
+      if (typeMentionsSlotAlias(Ex->getType())) return true;
+      if (const auto *DRE = dyn_cast<DeclRefExpr>(Ex)) {
+        if (declIsSlotLike(DRE->getDecl(), NameRegex)) return true;
+      } else if (const auto *ME = dyn_cast<MemberExpr>(Ex)) {
+        if (declIsSlotLike(ME->getMemberDecl(), NameRegex)) return true;
+      }
+    }
+    for (const Stmt *Child : S->children()) Work.push_back(Child);
+  }
+  return false;
+}
+
+llvm::SmallVector<llvm::StringRef, 8> splitOptionList(llvm::StringRef Raw) {
+  llvm::SmallVector<llvm::StringRef, 8> Out;
+  llvm::SmallVector<llvm::StringRef, 8> Parts;
+  Raw.split(Parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (llvm::StringRef P : Parts) {
+    P = P.trim();
+    if (!P.empty()) Out.push_back(P);
+  }
+  return Out;
+}
+
+bool inApprovedFile(SourceLocation Loc, const SourceManager &SM,
+                    const llvm::SmallVectorImpl<llvm::StringRef> &Approved) {
+  if (Loc.isInvalid()) return false;
+  StringRef File = SM.getFilename(SM.getFileLoc(Loc));
+  for (llvm::StringRef Entry : Approved) {
+    if (File.contains(Entry)) return true;
+  }
+  return false;
+}
+
+}  // namespace vod
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,58 @@
+// Shared helpers for the vod-* clang-tidy checks.
+//
+// "Slot-likeness" is the common question all four checks ask about an
+// expression: does it talk about the slot/segment domain? Two signals, in
+// priority order:
+//   1. Type sugar: the expression (or any subexpression) carries a typedef
+//      whose chain mentions the vod::Slot / vod::Segment aliases
+//      (schedule/types.h). This is the precise signal — the aliases exist
+//      so that slot arithmetic is visible in the type system.
+//   2. Naming: a referenced declaration matches SlotNameRegex. This is the
+//      fallback for code that erodes the aliases into raw ints; it is kept
+//      deliberately narrow (whole identifier tokens only) so `i % 4` style
+//      index math never matches.
+//
+// The helpers live outside any check so the heuristics stay consistent:
+// an expression either is or is not slot-like, for every check, with one
+// definition to tune when the codebase grows new naming conventions.
+#pragma once
+
+#include <string>
+
+#include "clang/AST/Expr.h"
+#include "clang/AST/Type.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang {
+namespace tidy {
+namespace vod {
+
+// True when the typedef-sugar chain of T mentions the Slot or Segment
+// aliases (at any desugaring depth: `const Slot`, `Slot&`, a typedef of a
+// typedef of Slot, ...).
+bool typeMentionsSlotAlias(QualType T);
+
+// True when E or any subexpression is slot-like per the two signals above.
+// NameRegex is matched against the names of referenced value declarations
+// (variables, fields, enumerators); pass the check's configured regex.
+bool isSlotLikeExpr(const Expr *E, const llvm::Regex &NameRegex);
+
+// Default identifier pattern for signal 2. Whole tokens only, optionally
+// pluralized, optionally embedded between underscores: slot, seg, segment,
+// stride, phase, cycle. ("offset" is deliberately absent — too generic;
+// offsets that matter are Slot-typed and caught by signal 1.)
+extern const char kDefaultSlotNameRegex[];
+
+// Splits a semicolon-separated option value ("a;b;c") into trimmed,
+// non-empty entries.
+llvm::SmallVector<llvm::StringRef, 8> splitOptionList(llvm::StringRef Raw);
+
+// True when the file containing Loc (after macro expansion) matches one of
+// the path substrings in ApprovedEntries. Used for the per-check escape
+// hatch: files that legitimately own the flagged idiom.
+bool inApprovedFile(SourceLocation Loc, const SourceManager &SM,
+                    const llvm::SmallVectorImpl<llvm::StringRef> &Approved);
+
+}  // namespace vod
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,44 @@
+// The vod clang-tidy module: domain-semantic checks for this repo's
+// slot/RNG/macro invariants, loaded out-of-tree:
+//
+//   clang-tidy --load libvod_tidy_checks.so --checks='-*,vod-*' ...
+//
+// scripts/run_vod_tidy.py wraps the invocation (fixture self-test + tree
+// scan); the `vod-tidy` CMake target wires it into the build, and CI runs
+// it at zero findings. See tools/vod_tidy/README.md for the catalog and
+// for how to add a check.
+#include "FloatSlotAccumulationCheck.h"
+#include "MacroSideEffectsCheck.h"
+#include "RawSlotModuloCheck.h"
+#include "RngDisciplineCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang {
+namespace tidy {
+namespace vod {
+
+class VodTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<RawSlotModuloCheck>("vod-raw-slot-modulo");
+    CheckFactories.registerCheck<MacroSideEffectsCheck>(
+        "vod-macro-side-effects");
+    CheckFactories.registerCheck<RngDisciplineCheck>("vod-rng-discipline");
+    CheckFactories.registerCheck<FloatSlotAccumulationCheck>(
+        "vod-float-slot-accumulation");
+  }
+};
+
+}  // namespace vod
+
+// Register under the "vod-module" name; the registry is what --load taps.
+static ClangTidyModuleRegistry::Add<vod::VodTidyModule> X(
+    "vod-module", "Domain-semantic checks for the VoD broadcasting repo.");
+
+// Some clang-tidy builds strip unreferenced module objects; exporting an
+// anchor the loader resolves keeps the static registrar alive.
+volatile int VodTidyModuleAnchorSource = 0;
+
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,40 @@
+// Negative fixture for vod-float-slot-accumulation: zero findings.
+
+namespace vod {
+using Slot = long long;
+}  // namespace vod
+
+namespace fixture {
+
+// Integer induction over slots: the required idiom.
+long long integer_induction(vod::Slot horizon) {
+  long long acc = 0;
+  for (vod::Slot t = 1; t <= horizon; ++t) acc += t;
+  return acc;
+}
+
+// Keeping slot sums in integers, then one explicit cast at the reporting
+// boundary, is the sanctioned exit from the slot domain.
+double mean_streams(const vod::Slot* stream_counts, int n) {
+  long long total = 0;
+  for (int i = 0; i < n; ++i) total += stream_counts[i];
+  double mean = 0.0;
+  mean += static_cast<double>(total) / n;  // explicit cast: intentional
+  return mean;
+}
+
+// Float accumulation of genuinely continuous quantities is out of scope.
+double mean_of(const double* samples, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += samples[i];
+  return sum / n;
+}
+
+// Float induction over a non-slot domain is fine too.
+double integrate(double width) {
+  double area = 0.0;
+  for (double x = 0.0; x < width; x += 0.5) area += x;
+  return area;
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Positive fixture for vod-float-slot-accumulation.
+
+namespace vod {
+using Slot = long long;
+}  // namespace vod
+
+namespace fixture {
+
+// Pattern 1: floating-point induction variable iterating the slot clock.
+double float_induction(vod::Slot horizon) {
+  double acc = 0.0;
+  for (double t = 0.0;  // LINT-EXPECT: vod-float-slot-accumulation
+       t < static_cast<double>(horizon); t += 1.0) {
+    acc += t;
+  }
+  return acc;
+}
+
+// Pattern 2: slot-domain values accumulated into a double.
+double bandwidth_by_type(const vod::Slot* stream_counts, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += stream_counts[i];  // LINT-EXPECT: vod-float-slot-accumulation
+  }
+  return total;
+}
+
+double bandwidth_by_name(const int* per_slot_streams, int num_slots) {
+  double total = 0.0;
+  for (int i = 0; i < num_slots; ++i) {
+    total -= per_slot_streams[i];  // LINT-EXPECT: vod-float-slot-accumulation
+  }
+  return total;
+}
+
+}  // namespace fixture

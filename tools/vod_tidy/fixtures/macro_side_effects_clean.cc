@@ -1,0 +1,50 @@
+// Negative fixture for vod-macro-side-effects: zero findings expected.
+//
+// VOD_METRIC_INC's body deliberately contains a non-const call (`bump()`),
+// mirroring the real macro's `->inc()`: side effects in the macro's own
+// body belong to the macro and must not be attributed to callers.
+
+namespace fixture {
+struct Counter {
+  int v = 0;
+  void bump(int n) { v += n; }  // non-const, but only called by the macro body
+};
+inline Counter& ambient_counter() {
+  static Counter c;
+  return c;
+}
+}  // namespace fixture
+
+#define VOD_TRACE_INSTANT(name, category, slot) \
+  do {                                          \
+    (void)(name);                               \
+    (void)(category);                           \
+    (void)(slot);                               \
+  } while (0)
+#define VOD_METRIC_INC(counter, n) fixture::ambient_counter().bump(n)
+#define VOD_DCHECK(expr) (void)(expr)
+
+namespace fixture {
+
+struct Cursor {
+  int pos = 0;
+  int peek() const { return pos; }
+};
+
+void traces(const Cursor& c, int slot) {
+  // Pure arguments: const calls, reads, arithmetic.
+  VOD_TRACE_INSTANT("ev", "cat", slot + 1);
+  VOD_TRACE_INSTANT("ev", "cat", c.peek());
+  VOD_METRIC_INC("hits", 1);
+  VOD_DCHECK(c.peek() >= 0);
+}
+
+void unlisted_macros_are_free(Cursor c) {
+  // Side effects in arguments of macros outside the configured list are
+  // some other check's business.
+#define FIXTURE_APPLY(x) (void)(x)
+  FIXTURE_APPLY(c.pos++);
+#undef FIXTURE_APPLY
+}
+
+}  // namespace fixture

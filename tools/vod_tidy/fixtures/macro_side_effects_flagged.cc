@@ -1,0 +1,47 @@
+// Positive fixture for vod-macro-side-effects. The stub macros mirror the
+// real ones just enough to create macro-argument expansions: each argument
+// is expanded (void)-cast, exactly like the compiled-out real definitions.
+
+#define VOD_TRACE_INSTANT(name, category, slot) \
+  do {                                          \
+    (void)(name);                               \
+    (void)(category);                           \
+    (void)(slot);                               \
+  } while (0)
+#define VOD_TRACE_COUNTER(name, category, slot, value) \
+  do {                                                 \
+    (void)(name);                                      \
+    (void)(category);                                  \
+    (void)(slot);                                      \
+    (void)(value);                                     \
+  } while (0)
+#define VOD_METRIC_INC(counter, n) \
+  do {                             \
+    (void)(counter);               \
+    (void)(n);                     \
+  } while (0)
+#define VOD_DCHECK(expr) (void)(expr)
+
+namespace fixture {
+
+struct Cursor {
+  int pos = 0;
+  int advance() { return ++pos; }      // non-const: a draw-like mutation
+  int peek() const { return pos; }
+};
+
+void traces(Cursor c, int slot) {
+  VOD_TRACE_INSTANT("ev", "cat",
+                    slot++);  // LINT-EXPECT: vod-macro-side-effects
+  VOD_TRACE_COUNTER("ev", "cat", slot,
+                    c.advance());  // LINT-EXPECT: vod-macro-side-effects
+  int hits = 0;
+  VOD_METRIC_INC("hits",
+                 hits = 1);  // LINT-EXPECT: vod-macro-side-effects
+}
+
+void checks(Cursor c) {
+  VOD_DCHECK(c.advance() > 0);  // LINT-EXPECT: vod-macro-side-effects
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Negative fixture for vod-raw-slot-modulo: zero findings expected.
+
+namespace vod {
+using Slot = long long;
+}  // namespace vod
+
+namespace fixture {
+
+// Plain integer index math is out of scope: no slot type, no slot name.
+int round_robin(int i) { return i % 4; }
+
+unsigned hash_bucket(unsigned h, unsigned buckets) { return h % buckets; }
+
+// Ring-buffer arithmetic over container sizes, the obs/trace.cc idiom.
+unsigned long ring_advance(unsigned long next, unsigned long capacity) {
+  return (next + 1) % capacity;
+}
+
+// Slot arithmetic without '%' is fine — only raw modulo is quarantined.
+vod::Slot deadline(vod::Slot now, int period) { return now + period; }
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Positive fixture for vod-raw-slot-modulo: every LINT-EXPECT line below
+// must produce exactly one warning (scripts/run_vod_tidy.py --self-test).
+// Self-contained on purpose — fixtures compile with no include paths.
+
+namespace vod {
+using Slot = long long;
+using Segment = int;
+}  // namespace vod
+
+namespace fixture {
+
+// Signal 1: Slot-typed operand, regardless of variable naming.
+long long wrap_by_type(vod::Slot s, long long ring) {
+  return s % ring;  // LINT-EXPECT: vod-raw-slot-modulo
+}
+
+vod::Segment phase_by_type(vod::Slot s, vod::Segment count) {
+  return static_cast<vod::Segment>(
+      (s - 1) % count);  // LINT-EXPECT: vod-raw-slot-modulo
+}
+
+// Signal 2: raw ints whose names place them in the slot domain.
+int wrap_by_name(int current_slot, int window) {
+  return current_slot % window;  // LINT-EXPECT: vod-raw-slot-modulo
+}
+
+// Compound assignment form.
+void wrap_in_place(vod::Slot& s, long long ring) {
+  s %= ring;  // LINT-EXPECT: vod-raw-slot-modulo
+}
+
+// Slot-likeness on the right-hand side only (stride arithmetic).
+bool hits(long long x, vod::Slot stride) {
+  return x % stride == 0;  // LINT-EXPECT: vod-raw-slot-modulo
+}
+
+}  // namespace fixture

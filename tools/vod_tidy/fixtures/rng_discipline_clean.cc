@@ -1,0 +1,51 @@
+// Negative fixture for vod-rng-discipline: zero findings expected.
+
+namespace vod {
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed) : state_(seed) {}
+  Rng fork(unsigned long long stream_id) const {
+    const unsigned long long child_seed = state_ ^ stream_id;
+    return Rng(child_seed);
+  }
+  unsigned long long next_u64() { return ++state_; }
+
+ private:
+  unsigned long long state_;
+};
+}  // namespace vod
+
+namespace fixture {
+
+struct Config {
+  unsigned long long heuristic_seed = 1;
+};
+
+// Constant seeds and seed-named provenance are both fine.
+unsigned long long good_seeds(const Config& config) {
+  vod::Rng fixed(42);
+  vod::Rng routed(config.heuristic_seed);
+  vod::Rng salted(config.heuristic_seed * 7 + 1);
+  return fixed.next_u64() + routed.next_u64() + salted.next_u64();
+}
+
+// Draws strictly before the forks, then children only: the multi-video
+// engine's substream pattern.
+unsigned long long fork_discipline(unsigned long long seed) {
+  vod::Rng parent(seed);
+  const unsigned long long warmup = parent.next_u64();  // before any fork
+  vod::Rng child_a = parent.fork(1);
+  vod::Rng child_b = parent.fork(2);
+  return warmup + child_a.next_u64() + child_b.next_u64();
+}
+
+// Different Rng objects are independent streams; forking one does not
+// freeze the other.
+unsigned long long two_parents(unsigned long long seed) {
+  vod::Rng a(seed);
+  vod::Rng b(seed + 1);
+  vod::Rng child = a.fork(1);
+  return b.next_u64() + child.next_u64();
+}
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// Positive fixture for vod-rng-discipline. The Rng stub mirrors
+// sim/random.h's shape: const fork(), non-const draws.
+
+namespace vod {
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed) : state_(seed) {}
+  Rng fork(unsigned long long stream_id) const {
+    const unsigned long long child_seed = state_ ^ stream_id;
+    return Rng(child_seed);
+  }
+  unsigned long long next_u64() { return ++state_; }
+  double uniform() { return static_cast<double>(next_u64()); }
+
+ private:
+  unsigned long long state_;
+};
+}  // namespace vod
+
+namespace fixture {
+
+unsigned long long entropy_source();
+
+// Rule 1: runtime seed with no visible seed provenance.
+double opaque_seed() {
+  vod::Rng rng(entropy_source());  // LINT-EXPECT: vod-rng-discipline
+  return rng.uniform();
+}
+
+// Rule 2: parent drawn after forking re-keys every later fork.
+unsigned long long draw_after_fork(unsigned long long seed) {
+  vod::Rng parent(seed);
+  vod::Rng child_a = parent.fork(1);
+  const unsigned long long stolen =
+      parent.next_u64();  // LINT-EXPECT: vod-rng-discipline
+  vod::Rng child_b = parent.fork(2);
+  return stolen + child_a.next_u64() + child_b.next_u64();
+}
+
+}  // namespace fixture
