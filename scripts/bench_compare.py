@@ -50,6 +50,25 @@ observability_overhead — guards the instrumentation layer's two promises
   (--max-sink-overhead, default 50%) that catches gross hot-path
   regressions without flaking.
 
+adaptive_switching — guards the per-video protocol-switching controller
+(DESIGN.md §13). Checks applied to BENCH_adaptive.json pairs:
+
+* invariants, re-checked from BOTH files: the migration gap audit must be
+  clean (gap_violations == 0 on every point) and the adaptive engine run
+  must be bit-identical across every recorded thread count.
+
+* policy quality, per point: frontier_ratio (adaptive provisioned
+  bandwidth over the per-video best static pin) must stay at or below
+  --max-frontier-ratio (default 1.05), and worst_pin_ratio (adaptive over
+  the worst uniform pin) at or below --max-worst-pin-ratio (default 0.80).
+  Both sides are deterministic window-peak means over a fixed seed, so
+  any breach is a real controller regression, never runner noise.
+
+* determinism: the per-point FNV checksums (folded over every per-video
+  provisioned/request/switch figure) must match exactly between the two
+  files on shared points — the smoke point reruns the committed mid
+  workload in full, so CI replays it bit-for-bit.
+
 Only points present in BOTH inputs (matched on (segments, arrivals_per_slot))
 are compared, so a smoke run's subset checks cleanly against the committed
 full-grid baseline.
@@ -58,13 +77,16 @@ Usage:
   scripts/bench_compare.py BASELINE CURRENT
                            [--max-drop 0.20] [--max-drop-speedup 0.50]
                            [--max-overhead 0.02] [--max-sink-overhead 0.50]
+                           [--max-frontier-ratio 1.05]
+                           [--max-worst-pin-ratio 0.80]
 """
 
 import argparse
 import json
 import sys
 
-KNOWN = ("admission_throughput", "observability_overhead")
+KNOWN = ("admission_throughput", "observability_overhead",
+         "adaptive_switching")
 
 # Ceiling on trace events per slot of the identity run. The instrumented
 # paths emit a constant handful per slot/batch (streams counter, one
@@ -230,6 +252,52 @@ def compare_observability(base_doc, base, cur_doc, cur, shared, args):
     return failures
 
 
+def compare_adaptive(base_doc, base, cur_doc, cur, shared, args):
+    for doc, points, label in ((base_doc, base, "baseline"),
+                               (cur_doc, cur, "current")):
+        if not doc.get("bit_identical_across_threads", True):
+            sys.exit(f"{label} run: thread counts diverged")
+        if not doc.get("gap_free", True):
+            sys.exit(f"{label} run: migration gap audit failed")
+        for key, p in points.items():
+            if not p.get("bit_identical", True):
+                sys.exit(f"{label} run: thread counts diverged at {key}")
+            if int(p.get("gap_violations", 0)) != 0:
+                sys.exit(f"{label} run: playback gaps at {key}")
+            if int(p.get("gap_transitions", 1)) == 0:
+                sys.exit(f"{label} run: gap audit saw no transitions at "
+                         f"{key} — the controller is inert")
+
+    failures = []
+    print(f"policy quality: frontier ratio <= {args.max_frontier_ratio:.2f}, "
+          f"worst-pin ratio <= {args.max_worst_pin_ratio:.2f}")
+    for points, label in ((base, "baseline"), (cur, "current")):
+        for key in sorted(points):
+            frontier = float(points[key]["frontier_ratio"])
+            worst = float(points[key]["worst_pin_ratio"])
+            status = "ok"
+            if frontier > args.max_frontier_ratio:
+                status = "ABOVE FRONTIER BUDGET"
+                failures.append(key)
+            if worst > args.max_worst_pin_ratio:
+                status = "TOO CLOSE TO WORST PIN"
+                failures.append(key)
+            print(f"  {label:>8} segments={key[0]:>5} rate={key[1]:>6.2f}  "
+                  f"frontier={frontier:6.3f}  worst-pin={worst:6.3f}  "
+                  f"{status}")
+
+    print("determinism: per-point checksums must match exactly")
+    for key in shared:
+        want = int(base[key]["checksum"])
+        got = int(cur[key]["checksum"])
+        status = "ok" if want == got else "DIVERGED"
+        if want != got:
+            failures.append(key)
+        print(f"  segments={key[0]:>5} rate={key[1]:>6.2f}  "
+              f"baseline={want:20d}  current={got:20d}  {status}")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__,
@@ -261,6 +329,20 @@ def main():
         default=0.50,
         help="loose cap on the in-binary metrics/full sink overheads (0.50)",
     )
+    ap.add_argument(
+        "--max-frontier-ratio",
+        type=float,
+        default=1.05,
+        help="adaptive provisioned bandwidth over the per-video best "
+             "static pin (1.05)",
+    )
+    ap.add_argument(
+        "--max-worst-pin-ratio",
+        type=float,
+        default=0.80,
+        help="adaptive provisioned bandwidth over the worst uniform "
+             "pin (0.80)",
+    )
     args = ap.parse_args()
 
     base_doc, base = load_points(args.baseline)
@@ -278,6 +360,9 @@ def main():
     if base_doc["benchmark"] == "admission_throughput":
         failures = compare_admission(base_doc, base, cur_doc, cur, shared,
                                      args)
+    elif base_doc["benchmark"] == "adaptive_switching":
+        failures = compare_adaptive(base_doc, base, cur_doc, cur, shared,
+                                    args)
     else:
         failures = compare_observability(base_doc, base, cur_doc, cur,
                                          shared, args)

@@ -64,6 +64,8 @@ std::string to_string(AuditViolationKind kind) {
       return "meter-mismatch";
     case AuditViolationKind::kPlacementIndexMismatch:
       return "placement-index-mismatch";
+    case AuditViolationKind::kTransitionCoverageGap:
+      return "transition-coverage-gap";
   }
   return "?";
 }

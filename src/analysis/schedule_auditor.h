@@ -77,6 +77,9 @@ enum class AuditViolationKind {
   kInstanceLeak,             // new instances != transmitted + scheduled
   kMeterMismatch,            // BandwidthMeter disagrees with observed slots
   kPlacementIndexMismatch,   // fast placement path != naive scan answer
+  kTransitionCoverageGap,    // a committed reception was never transmitted
+                             // (the adaptive-migration invariant;
+                             // analysis/transition_auditor.h)
 };
 
 // Stable name for a violation kind ("duplicate-future-instance", ...).

@@ -1,0 +1,120 @@
+#include "analysis/transition_auditor.h"
+
+#include <sstream>
+
+namespace vod {
+namespace {
+
+void add_violation(AuditReport* report, AuditViolationKind kind,
+                   Segment segment, Slot slot, std::string message) {
+  AuditViolation v;
+  v.kind = kind;
+  v.segment = segment;
+  v.slot = slot;
+  v.message = std::move(message);
+  report->violations.push_back(std::move(v));
+}
+
+}  // namespace
+
+void TransitionAuditor::on_transition(Slot slot, ServingMode from,
+                                      ServingMode to) {
+  ++transitions_seen_;
+  if (from == to) {
+    add_violation(&report_, AuditViolationKind::kNonMonotoneClock, 0, slot,
+                  "transition into the mode already being served (" +
+                      to_string(to) + ")");
+  }
+  // Transitions commit at the boundary *into* a slot, before that slot is
+  // audited: the claimed slot must be the one we are about to see.
+  if (clock_started_ && slot != last_slot_ + 1) {
+    std::ostringstream msg;
+    msg << "transition claims slot " << slot << " but the next audited slot "
+        << "is " << (last_slot_ + 1);
+    add_violation(&report_, AuditViolationKind::kNonMonotoneClock, 0, slot,
+                  msg.str());
+  }
+}
+
+void TransitionAuditor::on_admission(const ClientPlan& plan,
+                                     const std::vector<int>& periods,
+                                     uint64_t count, ServingMode mode) {
+  ++plans_admitted_;
+  if (count == 0) {
+    add_violation(&report_, AuditViolationKind::kCounterRegression, 0,
+                  plan.arrival_slot, "admission batch of zero clients");
+    return;
+  }
+  // Admissions for slot t arrive after slot t was audited.
+  if (plan.arrival_slot != last_slot_) {
+    std::ostringstream msg;
+    msg << "plan admitted during slot " << plan.arrival_slot
+        << " under mode " << to_string(mode) << ", but the current slot is "
+        << last_slot_;
+    add_violation(&report_, AuditViolationKind::kPlanDeadlineMiss, 0,
+                  plan.arrival_slot, msg.str());
+  }
+  if (periods.size() != plan.reception_slot.size()) {
+    std::ostringstream msg;
+    msg << "plan has " << plan.reception_slot.size() << " receptions but "
+        << periods.size() << " period entries";
+    add_violation(&report_, AuditViolationKind::kPlanDeadlineMiss, 0,
+                  plan.arrival_slot, msg.str());
+    return;
+  }
+  for (size_t k = 0; k < plan.reception_slot.size(); ++k) {
+    const Segment j = static_cast<Segment>(k) + 1;
+    const Slot r = plan.reception_slot[k];
+    const Slot deadline = plan.arrival_slot + periods[k];
+    if (r <= plan.arrival_slot || r > deadline) {
+      std::ostringstream msg;
+      msg << "segment " << j << " planned for slot " << r
+          << ", outside (" << plan.arrival_slot << ", " << deadline << "]";
+      add_violation(&report_, AuditViolationKind::kPlanDeadlineMiss, j, r,
+                    msg.str());
+      continue;
+    }
+    due_[r].push_back({j, plan.arrival_slot});
+    ++pending_receptions_;
+  }
+}
+
+void TransitionAuditor::on_slot(Slot slot,
+                                const std::vector<Segment>& transmitted) {
+  ++slots_audited_;
+  if (clock_started_ && slot != last_slot_ + 1) {
+    std::ostringstream msg;
+    msg << "slot clock jumped from " << last_slot_ << " to " << slot;
+    add_violation(&report_, AuditViolationKind::kNonMonotoneClock, 0, slot,
+                  msg.str());
+  }
+  clock_started_ = true;
+  last_slot_ = slot;
+
+  const auto it = due_.find(slot);
+  if (it == due_.end()) return;
+
+  for (const Segment j : transmitted) {
+    const size_t idx = static_cast<size_t>(j);
+    if (idx >= sent_scratch_.size()) sent_scratch_.resize(idx + 1, false);
+    sent_scratch_[idx] = true;
+  }
+  for (const DueReception& need : it->second) {
+    ++receptions_checked_;
+    --pending_receptions_;
+    const size_t idx = static_cast<size_t>(need.segment);
+    if (idx < sent_scratch_.size() && sent_scratch_[idx]) continue;
+    std::ostringstream msg;
+    msg << "client of slot " << need.arrival << " expected segment "
+        << need.segment << " in slot " << slot
+        << " but it was not transmitted (playback gap)";
+    add_violation(&report_, AuditViolationKind::kTransitionCoverageGap,
+                  need.segment, slot, msg.str());
+  }
+  for (const Segment j : transmitted) {
+    sent_scratch_[static_cast<size_t>(j)] = false;
+  }
+  due_.erase(it);
+}
+
+}  // namespace vod

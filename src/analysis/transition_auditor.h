@@ -1,0 +1,85 @@
+// End-to-end audit of the adaptive-migration invariant.
+//
+// An AdaptiveVideo promises (server/adaptive_video.h): *every admitted
+// client receives every segment of its committed plan, on time, no matter
+// how many protocol transitions happen while it is watching.* This class
+// checks that promise mechanically, from the outside, with no knowledge of
+// how the modes drain or overlap — it only sees what an omniscient client
+// would see through the AdaptiveProbe hook:
+//
+//   * on_admission — the plan is checked against its deadline vector the
+//     moment it is committed (kPlanDeadlineMiss), and every reception is
+//     indexed by slot;
+//   * on_slot — each reception due in the slot must appear in the merged
+//     transmission list; a miss is the transition invariant's failure mode,
+//     kTransitionCoverageGap. The video's clock must advance by exactly one
+//     per slot (kNonMonotoneClock);
+//   * on_transition — boundary bookkeeping only (a transition must land on
+//     the slot it claims and actually change the mode).
+//
+// Because coverage is checked against the *transmitted* list — not against
+// scheduler state — it catches every way a migration could drop a client:
+// retiring a dynamic schedule before it drains, shutting a static stream
+// off while an admitted client still needs it, or admitting a client into
+// a mode that never serves it. The fuzzer (tests/fuzz_schedule_audit.cc)
+// drives this auditor over >10k slots of random arrivals with random
+// forced switch points; bench/adaptive_switching runs it over the diurnal
+// sweep and reports the violation count (required: zero).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/schedule_auditor.h"
+#include "schedule/types.h"
+#include "server/adaptive_video.h"
+
+namespace vod {
+
+class TransitionAuditor final : public AdaptiveProbe {
+ public:
+  TransitionAuditor() = default;
+
+  // AdaptiveProbe implementation (all slots are the video's global slots).
+  void on_transition(Slot slot, ServingMode from, ServingMode to) override;
+  void on_admission(const ClientPlan& plan, const std::vector<int>& periods,
+                    uint64_t count, ServingMode mode) override;
+  void on_slot(Slot slot, const std::vector<Segment>& transmitted) override;
+
+  // Accumulated violations across the whole run ("ok" when the invariant
+  // held on every audited slot).
+  const AuditReport& report() const { return report_; }
+
+  uint64_t slots_audited() const { return slots_audited_; }
+  uint64_t plans_admitted() const { return plans_admitted_; }
+  uint64_t transitions_seen() const { return transitions_seen_; }
+  uint64_t receptions_checked() const { return receptions_checked_; }
+  // Receptions committed but not yet due.
+  uint64_t pending_receptions() const { return pending_receptions_; }
+
+ private:
+  struct DueReception {
+    Segment segment;
+    Slot arrival;  // the owning plan's arrival slot (for messages)
+  };
+
+  AuditReport report_;
+  Slot last_slot_ = 0;
+  bool clock_started_ = false;
+
+  // reception slot -> segments some admitted plan receives then. One entry
+  // per (plan, segment); a single transmission legitimately serves any
+  // number of clients, so coverage is presence, not counting.
+  std::map<Slot, std::vector<DueReception>> due_;
+
+  uint64_t slots_audited_ = 0;
+  uint64_t plans_admitted_ = 0;
+  uint64_t transitions_seen_ = 0;
+  uint64_t receptions_checked_ = 0;
+  uint64_t pending_receptions_ = 0;
+
+  std::vector<bool> sent_scratch_;  // per-segment presence, reused per slot
+};
+
+}  // namespace vod

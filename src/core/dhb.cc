@@ -439,6 +439,21 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
   return result;
 }
 
+void DhbScheduler::set_heuristic(SlotHeuristic heuristic) {
+  VOD_DCHECK_SERIAL(serial_);
+  VOD_CHECK_MSG(!schedule_.has_load_overlay(),
+                "cannot switch heuristics under a live load overlay");
+  if (heuristic == config_.heuristic) return;
+  config_.heuristic = heuristic;
+  // The coalescing memo caches a plan whose placements ran under the old
+  // rule; the first admission after the switch must re-admit (it still
+  // shares every in-window instance — sharing precedes placement — but the
+  // counters and any fresh placements must reflect the new rule).
+  memo_valid_ = false;
+  VOD_TRACE_INSTANT("heuristic/switch", "dhb", schedule_.now(),
+                    {"heuristic", static_cast<int>(heuristic)});
+}
+
 std::vector<Segment> DhbScheduler::advance_slot() {
   VOD_DCHECK_SERIAL(serial_);
   memo_valid_ = false;  // plans are per-arrival-slot; the clock moved

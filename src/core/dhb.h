@@ -138,6 +138,19 @@ class DhbScheduler {
   // during it (the per-slot bandwidth in streams is the vector's size).
   std::vector<Segment> advance_slot();
 
+  // Switches the slot-choice rule live, mid-schedule — the reactive⇄DHB leg
+  // of an adaptive protocol transition (server/adaptive_video.h). Committed
+  // instances are never moved (the §3 never-cancel rule), so only future
+  // placements change; the same-slot coalescing memo is invalidated because
+  // its cached plan was computed under the old rule, and the call refuses to
+  // run while a transient load overlay is live (bounded admissions must
+  // fully unwind first). The latest-instance cache and the range-min index
+  // describe schedule *contents*, which this call does not touch — the
+  // placement audit (kPlacementIndexMismatch) stays green across a switch,
+  // and tests/adaptive_video_test.cc cross-checks fast ≡ naive placement on
+  // the admissions immediately after one. No-op when the rule is unchanged.
+  void set_heuristic(SlotHeuristic heuristic);
+
   Slot current_slot() const { return schedule_.now(); }
   const SlotSchedule& schedule() const { return schedule_; }
   const std::vector<int>& periods() const { return periods_; }

@@ -1,0 +1,58 @@
+#include "core/protocol_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vod {
+
+ProtocolController::ProtocolController(const ControllerConfig& config)
+    : config_(config) {
+  VOD_CHECK_MSG(!config_.bands.empty(),
+                "a controller needs at least one band (two rungs)");
+  for (size_t i = 0; i < config_.bands.size(); ++i) {
+    const HysteresisBand& b = config_.bands[i];
+    VOD_CHECK_MSG(std::isfinite(b.up) && std::isfinite(b.down),
+                  "band thresholds must be finite");
+    VOD_CHECK_MSG(b.down >= 0.0, "switch-down threshold must be >= 0");
+    VOD_CHECK_MSG(b.down < b.up,
+                  "hysteresis needs down < up (equal thresholds chatter)");
+    if (i > 0) {
+      VOD_CHECK_MSG(config_.bands[i - 1].up <= b.up &&
+                        config_.bands[i - 1].down <= b.down,
+                    "bands must be ordered along the ladder");
+    }
+  }
+  VOD_CHECK_MSG(config_.min_dwell_slots >= 1, "dwell must be >= 1 slot");
+  const int top = static_cast<int>(config_.bands.size());
+  config_.min_mode = std::clamp(config_.min_mode, 0, top);
+  config_.max_mode = std::clamp(config_.max_mode, config_.min_mode, top);
+  VOD_CHECK_MSG(config_.initial_mode >= config_.min_mode &&
+                    config_.initial_mode <= config_.max_mode,
+                "initial mode outside [min_mode, max_mode]");
+  mode_ = config_.initial_mode;
+}
+
+int ProtocolController::on_slot(double rate_estimate) {
+  VOD_CHECK_MSG(!std::isnan(rate_estimate), "rate estimate is NaN");
+  ++dwell_;
+  if (dwell_ < config_.min_dwell_slots) return mode_;
+  int next = mode_;
+  if (mode_ < config_.max_mode &&
+      rate_estimate >= config_.bands[static_cast<size_t>(mode_)].up) {
+    next = mode_ + 1;
+  } else if (mode_ > config_.min_mode &&
+             rate_estimate <=
+                 config_.bands[static_cast<size_t>(mode_ - 1)].down) {
+    next = mode_ - 1;
+  }
+  if (next != mode_) {
+    mode_ = next;
+    dwell_ = 0;
+    ++switches_;
+  }
+  return mode_;
+}
+
+}  // namespace vod

@@ -1,0 +1,83 @@
+// Hysteresis-ladder mode controller for adaptive protocol switching.
+//
+// The paper's central observation is that the cheapest delivery protocol
+// depends on the arrival rate: reactive schemes win when requests are
+// sparse, proactive broadcasts win at saturation. A controller that flips
+// protocols the instant an EWMA estimate crosses a single threshold
+// chatters — Poisson noise drives the estimate back and forth across the
+// line, and every flip costs a migration (the old schedule drains while
+// the new one spins up, so bandwidth is paid twice during the overlap).
+//
+// This controller implements the classic remedy, a *hysteresis band with a
+// dwell time* per ladder rung boundary:
+//
+//   * modes form an ordered ladder 0..k-1, low-rate mode first;
+//   * boundary i (between modes i and i+1) has switch-up threshold `up`
+//     and switch-down threshold `down` with down < up, so an estimate
+//     oscillating anywhere inside (down, up) never causes a switch;
+//   * after any switch the controller refuses to move again for
+//     `min_dwell_slots` slots, bounding the worst-case switch frequency no
+//     matter how adversarial the estimate sequence is;
+//   * the ladder moves one rung per decision — crossing two boundaries in
+//     one estimate spike takes two dwell periods, deliberately.
+//
+// The controller is pure decision logic over (estimate, slot count): it
+// knows nothing about schedulers, videos, or threads, which is what makes
+// it trivially deterministic — the same estimate sequence yields the same
+// mode sequence on any machine at any thread count. The meaning of each
+// rung (which protocol it names) belongs to the caller
+// (server/adaptive_video.h maps 0/1/2 to reactive/DHB/static NPB).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vod {
+
+struct HysteresisBand {
+  double up = 0.0;    // move rung i -> i+1 when estimate >= up
+  double down = 0.0;  // move rung i+1 -> i when estimate <= down; < up
+};
+
+struct ControllerConfig {
+  // bands[i] governs the boundary between rungs i and i+1; the ladder has
+  // bands.size() + 1 rungs. Must be non-empty with 0 <= down < up per band,
+  // and consecutive bands must be ordered (bands[i].up <= bands[i+1].up,
+  // bands[i].down <= bands[i+1].down) so the rung implied by a rate is
+  // unique.
+  std::vector<HysteresisBand> bands;
+  // Slots the controller must hold a mode after entering it. >= 1; 1 means
+  // "a switch per slot is acceptable" (tests only — migrations overlap).
+  uint64_t min_dwell_slots = 64;
+  // Rung occupied before the first on_slot().
+  int initial_mode = 0;
+  // Inclusive rung clamp: decisions never leave [min_mode, max_mode]. A
+  // pinned controller (min == max) never switches — how the bench runs its
+  // static-pin frontier baselines through the identical code path.
+  int min_mode = 0;
+  int max_mode = 1 << 30;  // clamped to the ladder size at construction
+};
+
+class ProtocolController {
+ public:
+  explicit ProtocolController(const ControllerConfig& config);
+
+  // Feeds one slot's rate estimate (arrivals/slot) and returns the mode to
+  // occupy from the next slot on. Call exactly once per slot.
+  int on_slot(double rate_estimate);
+
+  int mode() const { return mode_; }
+  int num_modes() const { return static_cast<int>(config_.bands.size()) + 1; }
+  // Slots spent in the current mode (resets on every switch).
+  uint64_t dwell() const { return dwell_; }
+  uint64_t switches() const { return switches_; }
+  const ControllerConfig& config() const { return config_; }
+
+ private:
+  ControllerConfig config_;
+  int mode_;
+  uint64_t dwell_ = 0;     // slots since entering mode_
+  uint64_t switches_ = 0;  // lifetime mode changes
+};
+
+}  // namespace vod

@@ -6,18 +6,38 @@
 
 namespace vod {
 
+namespace {
+
+// Default-threshold resolution shared by both overloads. Patching has a
+// closed-form optimum, so the default is analytic — the pilot-run grid
+// search run_tapping_simulation() would fall back to exists for tapping,
+// where no closed form is known. (The two overloads used to disagree: the
+// no-arrivals one fell through to the grid search while the
+// explicit-arrivals one applied the closed form, so the same config could
+// simulate under two different thresholds.) A zero request rate leaves the
+// threshold at the video length: the optimum is undefined at lambda = 0
+// and no request ever consults it.
+void resolve_patching_threshold(TappingConfig* config) {
+  if (config->restart_threshold_s > 0.0) return;
+  config->restart_threshold_s =
+      config->requests_per_hour > 0.0
+          ? patching_optimal_threshold(per_hour(config->requests_per_hour),
+                                       config->video_duration_s)
+          : config->video_duration_s;
+}
+
+}  // namespace
+
 TappingResult run_patching_simulation(TappingConfig config) {
   config.mode = TappingMode::kPatching;
+  resolve_patching_threshold(&config);
   return run_tapping_simulation(config);
 }
 
 TappingResult run_patching_simulation(TappingConfig config,
                                       ArrivalProcess& arrivals) {
   config.mode = TappingMode::kPatching;
-  if (config.restart_threshold_s <= 0.0) {
-    config.restart_threshold_s = patching_optimal_threshold(
-        per_hour(config.requests_per_hour), config.video_duration_s);
-  }
+  resolve_patching_threshold(&config);
   return run_tapping_simulation(config, arrivals);
 }
 

@@ -1,0 +1,270 @@
+#include "server/adaptive_video.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/trace.h"
+#include "protocols/static_mapping.h"
+#include "util/check.h"
+
+namespace vod {
+namespace {
+
+// "Transmit forever" sentinel for an active static stream's off slot.
+constexpr Slot kNeverOff = std::numeric_limits<Slot>::max();
+
+}  // namespace
+
+std::string to_string(ServingMode mode) {
+  switch (mode) {
+    case ServingMode::kReactive:
+      return "reactive";
+    case ServingMode::kDhb:
+      return "dhb";
+    case ServingMode::kStatic:
+      return "static";
+  }
+  return "unknown";
+}
+
+ControllerConfig default_adaptive_controller() {
+  ControllerConfig config;
+  // Thresholds in arrivals/slot; see the header comment for the measured
+  // provisioned-bandwidth crossovers behind them.
+  config.bands = {
+      {/*up=*/0.05, /*down=*/0.02},  // reactive <-> dhb
+      {/*up=*/0.50, /*down=*/0.20},  // dhb <-> static
+  };
+  config.min_dwell_slots = 64;  // ~78 min at the paper's 72.7 s slot
+  config.initial_mode = static_cast<int>(ServingMode::kDhb);
+  return config;
+}
+
+AdaptiveVideo::AdaptiveVideo(const AdaptiveVideoConfig& config,
+                             const NpbMapping* static_mapping,
+                             AdaptiveProbe* probe)
+    : config_(config),
+      mapping_(static_mapping),
+      probe_(probe),
+      estimator_(config.ewma),
+      controller_(config.controller),
+      c_switches_(metrics_.counter("adaptive_switches_total")),
+      c_slots_reactive_(metrics_.counter("adaptive_slots_mode_reactive_total")),
+      c_slots_dhb_(metrics_.counter("adaptive_slots_mode_dhb_total")),
+      c_slots_static_(metrics_.counter("adaptive_slots_mode_static_total")),
+      c_overlap_slots_(
+          metrics_.counter("adaptive_migration_overlap_slots_total")) {
+  VOD_CHECK_MSG(config_.num_segments >= 1, "need at least one segment");
+  VOD_CHECK_MSG(mapping_ != nullptr, "adaptive video needs an NPB mapping");
+  VOD_CHECK_MSG(mapping_->num_segments() == config_.num_segments,
+                "static mapping segment count mismatch");
+  VOD_CHECK_MSG(controller_.num_modes() == 3,
+                "the adaptive ladder has exactly three rungs "
+                "(reactive / dhb / static)");
+  mode_ = static_cast<ServingMode>(controller_.mode());
+  pending_mode_ = mode_;
+
+  // Per-stream drain horizons: the largest transmission period packed on a
+  // stream bounds how long any client could still be waiting for it. Every
+  // segment's period divides into the first num_segments slots (period <=
+  // segment index <= n), so scanning one n-slot window sees every segment
+  // the stream carries.
+  const int streams = mapping_->streams();
+  stream_max_period_.assign(static_cast<size_t>(streams), 0);
+  for (int r = 0; r < streams; ++r) {
+    Slot max_period = 0;
+    for (Slot s = 1; s <= static_cast<Slot>(config_.num_segments); ++s) {
+      const Segment seg = mapping_->segment_at(r, s);
+      if (seg != 0) max_period = std::max(max_period, mapping_->period_of(seg));
+    }
+    stream_max_period_[static_cast<size_t>(r)] = max_period;
+  }
+  static_off_slot_.assign(static_cast<size_t>(streams), 0);
+  static_periods_.resize(static_cast<size_t>(config_.num_segments));
+  for (int j = 1; j <= config_.num_segments; ++j) {
+    static_periods_[static_cast<size_t>(j - 1)] =
+        static_cast<int>(mapping_->period_of(j));
+  }
+
+  // A video whose initial rung is already kStatic (a pinned ladder, or an
+  // operator starting a known-hot video proactive) broadcasts from slot 1.
+  if (mode_ == ServingMode::kStatic) {
+    static_on_ = true;
+    std::fill(static_off_slot_.begin(), static_off_slot_.end(), kNeverOff);
+  }
+}
+
+SlotHeuristic AdaptiveVideo::heuristic_for(ServingMode mode) {
+  // kReactive is the lazy rule: place at the deadline, exactly what a
+  // slotted patching/tapping server does; kDhb is the paper's heuristic.
+  return mode == ServingMode::kReactive ? SlotHeuristic::kLatest
+                                        : SlotHeuristic::kMinLoadLatest;
+}
+
+bool AdaptiveVideo::migrating() const {
+  const bool dynamic_draining =
+      !mode_dynamic(mode_) && scheduler_ != nullptr &&
+      scheduler_->schedule().total_scheduled() > 0;
+  const bool static_draining = !static_on_ && mode_dynamic(mode_) &&
+                               std::any_of(static_off_slot_.begin(),
+                                           static_off_slot_.end(),
+                                           [this](Slot off) {
+                                             return off > now_;
+                                           });
+  return dynamic_draining || static_draining;
+}
+
+void AdaptiveVideo::ensure_scheduler() {
+  if (scheduler_) return;
+  DhbConfig dhb;
+  dhb.num_segments = config_.num_segments;
+  dhb.heuristic = heuristic_for(mode_);
+  dhb.use_placement_index = config_.fast_admission;
+  dhb.coalesce_same_slot = config_.fast_admission;
+  scheduler_ = std::make_unique<DhbScheduler>(dhb);
+}
+
+void AdaptiveVideo::commit_transition(ServingMode to) {
+  const ServingMode from = mode_;
+  if (mode_dynamic(from) && mode_dynamic(to)) {
+    // reactive <-> dhb: same schedule, new placement rule for future
+    // instances only. Nothing drains; committed plans are untouched.
+    if (scheduler_) scheduler_->set_heuristic(heuristic_for(to));
+  } else if (to == ServingMode::kStatic) {
+    // dynamic -> static: broadcast on from this slot; the dynamic schedule
+    // stops admitting and plays out its committed instances.
+    static_on_ = true;
+    std::fill(static_off_slot_.begin(), static_off_slot_.end(), kNeverOff);
+  } else {
+    // static -> dynamic: admissions move to a (possibly resumed) dynamic
+    // scheduler; each broadcast stream stays on through the last slot any
+    // already-admitted static client could still need it, then shuts off.
+    static_on_ = false;
+    for (size_t r = 0; r < static_off_slot_.size(); ++r) {
+      static_off_slot_[r] =
+          has_static_clients_ ? last_static_arrival_ + stream_max_period_[r]
+                              : now_ - 1;
+    }
+    // A scheduler still draining from an earlier dynamic->static switch is
+    // simply re-adopted — its committed plans are valid under any rule.
+    if (scheduler_) scheduler_->set_heuristic(heuristic_for(to));
+  }
+  mode_ = to;
+  ++switches_;
+  c_switches_->inc();
+  VOD_TRACE_INSTANT("adaptive/switch", "adaptive", now_,
+                    {"from", static_cast<int>(from)},
+                    {"to", static_cast<int>(to)});
+  if (probe_ != nullptr) probe_->on_transition(now_, from, to);
+}
+
+int AdaptiveVideo::advance_slot() {
+  VOD_DCHECK_SERIAL(serial_);
+  ++now_;
+  if (pending_mode_ != mode_) commit_transition(pending_mode_);
+
+  const bool want_list = probe_ != nullptr;
+  if (want_list) transmitted_scratch_.clear();
+
+  // Dynamic side: advance a non-empty schedule (an empty one is skipped,
+  // the engine's idle early-out — semantically a no-op because an empty
+  // schedule is translation-invariant); a drained retired scheduler is
+  // exported and destroyed.
+  int streams = 0;
+  if (scheduler_) {
+    if (scheduler_->schedule().total_scheduled() > 0) {
+      const std::vector<Segment> sent = scheduler_->advance_slot();
+      streams += static_cast<int>(sent.size());
+      if (want_list) {
+        transmitted_scratch_.insert(transmitted_scratch_.end(), sent.begin(),
+                                    sent.end());
+      }
+    }
+    if (!mode_dynamic(mode_) &&
+        scheduler_->schedule().total_scheduled() == 0) {
+      scheduler_->export_metrics(&metrics_);
+      scheduler_.reset();
+    }
+  }
+
+  // Static side: active streams are reserved channels whether or not this
+  // slot of the mapping carries a segment.
+  int static_streams = 0;
+  for (size_t r = 0; r < static_off_slot_.size(); ++r) {
+    const bool active = static_on_ || static_off_slot_[r] >= now_;
+    if (!active) continue;
+    ++static_streams;
+    if (want_list) {
+      const Segment seg = mapping_->segment_at(static_cast<int>(r), now_);
+      if (seg != 0) transmitted_scratch_.push_back(seg);
+    }
+  }
+  if (streams > 0 && static_streams > 0) c_overlap_slots_->inc();
+  streams += static_streams;
+
+  switch (mode_) {
+    case ServingMode::kReactive:
+      c_slots_reactive_->inc();
+      break;
+    case ServingMode::kDhb:
+      c_slots_dhb_->inc();
+      break;
+    case ServingMode::kStatic:
+      c_slots_static_->inc();
+      break;
+  }
+  if (probe_ != nullptr) probe_->on_slot(now_, transmitted_scratch_);
+  return streams;
+}
+
+void AdaptiveVideo::on_slot_arrivals(uint64_t count) {
+  VOD_DCHECK_SERIAL(serial_);
+  VOD_CHECK_MSG(now_ >= 1, "advance_slot() must run before arrivals");
+  estimator_.on_slot(count);
+
+  if (count > 0) {
+    if (mode_dynamic(mode_)) {
+      ensure_scheduler();
+      // The scheduler's clock lags the global one across skipped idle
+      // slots; the offset is constant while any plan is in flight.
+      const Slot offset = now_ - scheduler_->current_slot();
+      DhbRequestResult result = scheduler_->on_request_batch(count);
+      if (probe_ != nullptr) {
+        ClientPlan plan = result.plan;
+        plan.arrival_slot += offset;
+        for (Slot& s : plan.reception_slot) s += offset;
+        probe_->on_admission(plan, scheduler_->periods(), count, mode_);
+      }
+    } else {
+      last_static_arrival_ = now_;
+      has_static_clients_ = true;
+      if (probe_ != nullptr) {
+        // first_occurrences is 1-based with a dummy entry 0; plans use the
+        // scheduler convention (entry k = segment k+1).
+        const std::vector<Slot> occ = first_occurrences(*mapping_, now_);
+        ClientPlan plan;
+        plan.arrival_slot = now_;
+        plan.reception_slot.assign(occ.begin() + 1, occ.end());
+        probe_->on_admission(plan, static_periods_, count, mode_);
+      }
+    }
+  }
+
+  // The controller's decision commits at the next slot boundary, so a
+  // client arriving in the very slot a switch commits is admitted by the
+  // *new* mode (the old one only drains from that boundary on).
+  pending_mode_ = static_cast<ServingMode>(
+      controller_.on_slot(estimator_.estimate()));
+}
+
+void AdaptiveVideo::force_mode(ServingMode mode) {
+  VOD_DCHECK_SERIAL(serial_);
+  pending_mode_ = mode;
+}
+
+void AdaptiveVideo::export_metrics(obs::MetricShard* out) const {
+  out->merge_from(metrics_);
+  if (scheduler_) scheduler_->export_metrics(out);
+}
+
+}  // namespace vod

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <optional>
 
@@ -38,9 +39,15 @@ struct CatalogPlan {
   std::vector<int> segments;     // per rank, length in slots
   std::vector<double> rate_kbs;  // per rank, stream rate
   std::vector<bool> is_static;   // per rank, always-on NPB vs DHB
+  std::vector<bool> is_adaptive; // per rank, AdaptiveVideo controller
+  // NPB packings for adaptive videos, one per distinct segment count.
+  // Built before the workers start, immutable after (AdaptiveVideo reads
+  // only); std::map for deterministic construction order.
+  std::map<int, NpbMapping> mappings;
   uint64_t warmup_slots = 0;
   uint64_t total_slots = 0;
-  double rate_per_s = 0.0;  // aggregate arrival rate, requests/second
+  double rate_per_s = 0.0;       // aggregate off-peak rate, requests/second
+  double peak_per_hour = 0.0;    // diurnal peak, requests/hour (0 = flat)
 };
 
 // What one shard reports back: per-measured-slot totals over its ranks
@@ -51,6 +58,8 @@ struct ShardResult {
   std::vector<double> slot_kbs;
   std::vector<double> video_stream_sum;  // per video of the slice
   std::vector<uint64_t> video_requests;
+  std::vector<double> video_provisioned;  // mean window-max streams
+  std::vector<uint64_t> video_switches;   // adaptive mode switches
 };
 
 // Simulates ranks [first_rank, last_rank) against the shared plan. Each
@@ -82,6 +91,10 @@ void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
   out->video_stream_sum.assign(static_cast<size_t>(last_rank - first_rank),
                                0.0);
   out->video_requests.assign(static_cast<size_t>(last_rank - first_rank), 0);
+  out->video_provisioned.assign(static_cast<size_t>(last_rank - first_rank),
+                                0.0);
+  out->video_switches.assign(static_cast<size_t>(last_rank - first_rank), 0);
+  const uint64_t prov_window = config.provision_window_slots;
 
   const Rng base(config.seed);
   for (int v = first_rank; v < last_rank; ++v) {
@@ -90,8 +103,15 @@ void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
     const double rate = plan.rate_kbs[idx];
 
     std::unique_ptr<DhbScheduler> scheduler;
+    std::unique_ptr<AdaptiveVideo> adaptive;
     int fixed_streams = 0;
-    if (plan.is_static[idx]) {
+    if (plan.is_adaptive[idx]) {
+      AdaptiveVideoConfig acfg = config.adaptive;
+      acfg.num_segments = plan.segments[idx];
+      acfg.fast_admission = config.fast_admission;
+      adaptive = std::make_unique<AdaptiveVideo>(
+          acfg, &plan.mappings.at(plan.segments[idx]));
+    } else if (plan.is_static[idx]) {
       fixed_streams = NpbMapping::streams_for(plan.segments[idx]);
     } else {
       DhbConfig dhb;
@@ -101,15 +121,34 @@ void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
       scheduler = std::make_unique<DhbScheduler>(dhb);
     }
 
-    PoissonProcess arrivals(
-        plan.rate_per_s * zipf.probability(v),
-        base.fork(static_cast<uint64_t>(v) + 1));
-    double next_arrival = arrivals.next();
+    // Flat Poisson by default; the §1 diurnal curve (thinned
+    // non-homogeneous Poisson) when a peak rate is configured. Either way
+    // one substream per video, so the shard decomposition stays
+    // deterministic.
+    const double base_rate_per_s = plan.rate_per_s * zipf.probability(v);
+    std::unique_ptr<ArrivalProcess> arrivals;
+    if (plan.peak_per_hour > 0.0) {
+      const double off_peak_h = base_rate_per_s * 3600.0;
+      const double peak_h = plan.peak_per_hour * zipf.probability(v);
+      arrivals = std::make_unique<NonHomogeneousPoissonProcess>(
+          daily_demand_curve(off_peak_h, peak_h), per_hour(peak_h),
+          base.fork(static_cast<uint64_t>(v) + 1));
+    } else {
+      arrivals = std::make_unique<PoissonProcess>(
+          base_rate_per_s, base.fork(static_cast<uint64_t>(v) + 1));
+    }
+    double next_arrival = arrivals->next();
     uint64_t idle_slots = 0;
+    int window_max = 0;          // provisioned: peak inside current window
+    uint64_t window_fill = 0;    // measured slots accumulated into it
+    double provisioned_sum = 0.0;
+    uint64_t provisioned_windows = 0;
 
     for (uint64_t step = 1; step <= plan.total_slots; ++step) {
       int streams;
-      if (!scheduler) {
+      if (adaptive) {
+        streams = adaptive->advance_slot();
+      } else if (!scheduler) {
         streams = fixed_streams;  // always on, demand or not
       } else if (scheduler->schedule().total_scheduled() == 0) {
         // Idle early-out: advancing an empty schedule transmits nothing
@@ -127,6 +166,15 @@ void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
         out->slot_streams[slot] += streams;
         out->slot_kbs[slot] += streams * rate;
         out->video_stream_sum[local] += streams;
+        if (prov_window > 0) {
+          window_max = std::max(window_max, streams);
+          if (++window_fill == prov_window) {
+            provisioned_sum += window_max;
+            ++provisioned_windows;
+            window_max = 0;
+            window_fill = 0;
+          }
+        }
       }
 
       // Drain this slot's Poisson arrivals first, then admit them as one
@@ -138,8 +186,11 @@ void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
       uint64_t batch = 0;
       while (next_arrival < slot_end) {
         ++batch;
-        next_arrival = arrivals.next();
+        next_arrival = arrivals->next();
       }
+      // An adaptive video consumes every slot's batch — zero included; the
+      // EWMA needs the silence as much as the bursts.
+      if (adaptive) adaptive->on_slot_arrivals(batch);
       if (batch > 0) {
         if (scheduler) scheduler->on_request_batch(batch);
         if (step > plan.warmup_slots) out->video_requests[local] += batch;
@@ -149,6 +200,15 @@ void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
       }
     }
 
+    // A trailing partial window is dropped: a shorter window has a lower
+    // expected max, so averaging it in would bias the provisioned figure
+    // down. Zero complete windows reports 0.0, never a 0/0 NaN.
+    if (provisioned_windows > 0) {
+      out->video_provisioned[local] =
+          provisioned_sum / static_cast<double>(provisioned_windows);
+    }
+    if (adaptive) out->video_switches[local] = adaptive->switches();
+
     if (metrics != nullptr) {
       metrics->counter("engine_videos_total")->inc();
       metrics->counter("engine_idle_slots_total")->inc(idle_slots);
@@ -157,6 +217,7 @@ void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
       // Fold the per-video scheduler's dhb_* counters into this shard so
       // the catalog-wide totals survive the scheduler's destruction.
       if (scheduler) scheduler->export_metrics(metrics);
+      if (adaptive) adaptive->export_metrics(metrics);
     }
     VOD_TRACE_INSTANT("video/done", "engine",
                       static_cast<int64_t>(plan.total_slots), {"rank", v},
@@ -174,8 +235,14 @@ MultiVideoResult run_multi_video_simulation(const MultiVideoConfig& config) {
   VOD_CHECK(config.slot_duration_s > 0.0);
   VOD_CHECK_MSG(config.zipf_exponent >= 0.0,
                 "Zipf exponent must be non-negative");
-  VOD_CHECK_MSG(config.total_requests_per_hour > 0.0,
-                "aggregate request rate must be positive");
+  VOD_CHECK_MSG(config.total_requests_per_hour >= 0.0,
+                "aggregate request rate must be non-negative");
+  VOD_CHECK_MSG(config.diurnal_peak_requests_per_hour >= 0.0,
+                "diurnal peak rate must be non-negative");
+  VOD_CHECK_MSG(config.diurnal_peak_requests_per_hour == 0.0 ||
+                    config.diurnal_peak_requests_per_hour >=
+                        config.total_requests_per_hour,
+                "diurnal peak must be at least the off-peak rate");
   VOD_CHECK(config.warmup_hours >= 0.0);
   VOD_CHECK(config.measured_hours >= 0.0);
   VOD_CHECK_MSG(config.num_threads >= 0, "num_threads: 0 = auto, n >= 1");
@@ -191,6 +258,7 @@ MultiVideoResult run_multi_video_simulation(const MultiVideoConfig& config) {
       plan.warmup_slots +
       static_cast<uint64_t>(std::ceil(config.measured_hours * 3600.0 / d));
   plan.rate_per_s = per_hour(config.total_requests_per_hour);
+  plan.peak_per_hour = config.diurnal_peak_requests_per_hour;
 
   // Per-video shapes: homogeneous defaults unless overridden.
   plan.segments.assign(static_cast<size_t>(V), config.num_segments);
@@ -213,6 +281,7 @@ MultiVideoResult run_multi_video_simulation(const MultiVideoConfig& config) {
                 "hybrid_static_top must be >= 0");
   const int static_top = std::min(config.hybrid_static_top, V);
   plan.is_static.assign(static_cast<size_t>(V), false);
+  plan.is_adaptive.assign(static_cast<size_t>(V), false);
   for (int v = 0; v < V; ++v) {
     switch (config.policy) {
       case VideoPolicy::kDhb:
@@ -223,7 +292,23 @@ MultiVideoResult run_multi_video_simulation(const MultiVideoConfig& config) {
       case VideoPolicy::kHybrid:
         plan.is_static[static_cast<size_t>(v)] = v < static_top;
         break;
+      case VideoPolicy::kAdaptive:
+        plan.is_adaptive[static_cast<size_t>(v)] = true;
+        break;
     }
+  }
+
+  // Adaptive videos need the NPB packing for their segment count; build
+  // each distinct one once, up front, and share it read-only across every
+  // shard kernel (streams_for() guarantees the packer fits).
+  for (int v = 0; v < V; ++v) {
+    if (!plan.is_adaptive[static_cast<size_t>(v)]) continue;
+    const int n = plan.segments[static_cast<size_t>(v)];
+    if (plan.mappings.count(n) != 0) continue;
+    std::optional<NpbMapping> mapping =
+        NpbMapping::build(NpbMapping::streams_for(n), n);
+    VOD_CHECK_MSG(mapping.has_value(), "NPB packing failed");
+    plan.mappings.emplace(n, std::move(*mapping));
   }
 
   const ZipfDistribution zipf(V, config.zipf_exponent);
@@ -270,6 +355,10 @@ MultiVideoResult run_multi_video_simulation(const MultiVideoConfig& config) {
   result.measured_slots = measured;
   result.per_video_avg.assign(static_cast<size_t>(V), 0.0);
   result.per_video_requests.assign(static_cast<size_t>(V), 0);
+  if (config.provision_window_slots > 0) {
+    result.per_video_provisioned.assign(static_cast<size_t>(V), 0.0);
+  }
+  result.per_video_switches.assign(static_cast<size_t>(V), 0);
 
   std::vector<int> total_streams(static_cast<size_t>(measured), 0);
   std::vector<double> total_kbs(static_cast<size_t>(measured), 0.0);
@@ -284,6 +373,10 @@ MultiVideoResult run_multi_video_simulation(const MultiVideoConfig& config) {
       const size_t idx = static_cast<size_t>(first) + local;
       result.per_video_requests[idx] = shard.video_requests[local];
       result.requests += shard.video_requests[local];
+      result.per_video_switches[idx] = shard.video_switches[local];
+      if (config.provision_window_slots > 0) {
+        result.per_video_provisioned[idx] = shard.video_provisioned[local];
+      }
       if (measured > 0) {
         result.per_video_avg[idx] =
             shard.video_stream_sum[local] / static_cast<double>(measured);

@@ -6,12 +6,17 @@
 // builds that server: a catalog of videos, all slotted on a common slot
 // duration, each distributed by its own policy —
 //
-//   kDhb    — a DhbScheduler per video (the paper's protocol),
-//   kStatic — an always-on static broadcast using the fewest streams the
-//             NPB packer needs for the video's segment count,
-//   kHybrid — static for the hottest `hybrid_static_top` ranks, DHB for
-//             the long tail (what an operator who distrusts dynamic
-//             protocols for the head of the catalog would deploy).
+//   kDhb      — a DhbScheduler per video (the paper's protocol),
+//   kStatic   — an always-on static broadcast using the fewest streams the
+//               NPB packer needs for the video's segment count,
+//   kHybrid   — static for the hottest `hybrid_static_top` ranks, DHB for
+//               the long tail (what an operator who distrusts dynamic
+//               protocols for the head of the catalog would deploy),
+//   kAdaptive — an AdaptiveVideo per video: an EWMA rate estimate drives a
+//               hysteresis ladder over reactive/DHB/static serving modes,
+//               migrating in-flight clients across transitions without a
+//               playback gap (server/adaptive_video.h). The policy a real
+//               service wants when demand follows a diurnal curve.
 //
 // Requests arrive as one Poisson stream thinned over the catalog by a
 // Zipf popularity distribution. The server reports aggregate and
@@ -34,6 +39,7 @@
 #include <vector>
 
 #include "core/dhb.h"
+#include "server/adaptive_video.h"
 #include "sim/zipf.h"
 
 namespace vod::obs {
@@ -42,7 +48,7 @@ class EngineObserver;
 
 namespace vod {
 
-enum class VideoPolicy { kDhb, kStatic, kHybrid };
+enum class VideoPolicy { kDhb, kStatic, kHybrid, kAdaptive };
 
 struct MultiVideoConfig {
   int catalog_size = 20;
@@ -52,11 +58,39 @@ struct MultiVideoConfig {
   int num_segments = 99;
   double slot_duration_s = 72.7;  // the paper's two-hour/99-segment slot
   double zipf_exponent = 0.729;   // classic video-rental skew
+  // Aggregate request rate across the catalog. 0 is a legal degenerate
+  // config — a dead server simulates to an all-idle (or all-static) result
+  // with no arrivals, never a NaN.
   double total_requests_per_hour = 200.0;
+  // When > 0, per-video arrivals follow the §1 diurnal demand curve
+  // instead of a flat rate: video v sees daily_demand_curve with off-peak
+  // total_requests_per_hour·p_v and peak diurnal_peak_requests_per_hour·p_v
+  // (thinned non-homogeneous Poisson, same per-video RNG substreams, so
+  // results stay bit-identical at any thread count). Must be >=
+  // total_requests_per_hour when set; 0 keeps the homogeneous process.
+  double diurnal_peak_requests_per_hour = 0.0;
   double warmup_hours = 8.0;
   double measured_hours = 150.0;
   VideoPolicy policy = VideoPolicy::kDhb;
   int hybrid_static_top = 3;  // kHybrid: ranks served statically
+
+  // kAdaptive knobs: estimator half life / warm-up and the controller's
+  // hysteresis bands + dwell, shared by every video in the catalog
+  // (num_segments and fast_admission are overridden per video by the
+  // engine). The default ladder is the measured n = 99 one
+  // (default_adaptive_controller()). A pinned ladder
+  // (controller.min_mode == controller.max_mode) runs a fixed protocol
+  // through the identical code path — the bench's frontier baselines.
+  AdaptiveVideoConfig adaptive;
+
+  // When > 0, the engine also reports provisioned bandwidth: per video,
+  // the measured slots are cut into windows of this many slots and the
+  // per-window maximum stream count is averaged into
+  // MultiVideoResult::per_video_provisioned — the per-rate channel
+  // reservation the paper's Figure 8 compares (a window of ~1 h captures
+  // "channels the operator must hold for this video this hour"). 0 skips
+  // the accounting and leaves the vector empty.
+  uint64_t provision_window_slots = 0;
 
   // Heterogeneous catalogs (§4: each video gets a channel bandwidth b at
   // least its own minimum). When non-empty, both vectors must have
@@ -101,6 +135,12 @@ struct MultiVideoResult {
   uint64_t measured_slots = 0;     // slots contributing to the averages
   std::vector<double> per_video_avg;      // streams, one entry per rank
   std::vector<uint64_t> per_video_requests;
+  // Mean per-window peak streams per rank; empty unless
+  // provision_window_slots > 0 (windows that end inside the measured span
+  // only — a trailing partial window is dropped, never NaN).
+  std::vector<double> per_video_provisioned;
+  // kAdaptive only: lifetime mode switches per rank (0 elsewhere).
+  std::vector<uint64_t> per_video_switches;
 };
 
 MultiVideoResult run_multi_video_simulation(const MultiVideoConfig& config);

@@ -9,10 +9,15 @@ namespace vod {
 
 PoissonProcess::PoissonProcess(double rate, Rng rng)
     : rate_(rate), rng_(rng) {
-  VOD_CHECK(rate > 0.0);
+  // rate == 0 is the legal degenerate process that never arrives (a dead
+  // video in a Zipf tail, or a server configured with zero demand) — it
+  // must not reach exponential()'s divide-by-rate.
+  VOD_CHECK_MSG(rate >= 0.0 && std::isfinite(rate),
+                "Poisson rate must be finite and non-negative");
 }
 
 double PoissonProcess::next() {
+  if (rate_ == 0.0) return std::numeric_limits<double>::infinity();
   now_ += rng_.exponential(rate_);
   return now_;
 }
@@ -20,10 +25,16 @@ double PoissonProcess::next() {
 NonHomogeneousPoissonProcess::NonHomogeneousPoissonProcess(
     std::function<double(double)> rate, double max_rate, Rng rng)
     : rate_(std::move(rate)), max_rate_(max_rate), rng_(rng) {
-  VOD_CHECK(max_rate_ > 0.0);
+  // max_rate == 0 forces rate(t) == 0 everywhere (the thinning bound), so
+  // the process is legal and empty. Rejecting it — or worse, entering the
+  // thinning loop, which accepts with probability rate/max == 0/0 — would
+  // turn a dead video into an abort or an infinite loop.
+  VOD_CHECK_MSG(max_rate_ >= 0.0 && std::isfinite(max_rate_),
+                "max_rate must be finite and non-negative");
 }
 
 double NonHomogeneousPoissonProcess::next() {
+  if (max_rate_ == 0.0) return std::numeric_limits<double>::infinity();
   // Thinning: propose at max_rate, accept with probability rate(t)/max_rate.
   for (;;) {
     now_ += rng_.exponential(max_rate_);

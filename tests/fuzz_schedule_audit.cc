@@ -20,8 +20,11 @@
 #include <vector>
 
 #include "analysis/schedule_auditor.h"
+#include "analysis/transition_auditor.h"
 #include "core/dhb.h"
 #include "core/heuristics.h"
+#include "protocols/npb.h"
+#include "server/adaptive_video.h"
 #include "sim/random.h"
 
 namespace vod {
@@ -515,6 +518,113 @@ TEST(FuzzModeDiff, BoundedAdmission) {
   fc.seed = 801;
   run_mode_diff(fc, &checked);
   EXPECT_GE(checked, 900u);
+}
+
+// Switch-injection mode (ISSUE 7): drives an AdaptiveVideo with random
+// per-slot Poisson arrivals AND randomly injected protocol switches
+// (force_mode at random slots, on top of the controller's own decisions),
+// while a TransitionAuditor checks from the outside that no committed
+// reception is ever missed — the migration invariant under adversarial
+// switch timing. Every slot is one audited step.
+struct SwitchFuzzConfig {
+  int num_segments = 20;
+  int slots = 2000;
+  double arrivals_per_slot = 0.8;
+  double switch_prob = 0.05;  // per-slot chance of a forced random mode
+  uint64_t min_dwell = 1;     // 1 = worst case: a switch every slot is legal
+  uint64_t seed = 1;
+};
+
+void run_switch_fuzz(const SwitchFuzzConfig& sc, uint64_t* audited) {
+  static std::map<int, NpbMapping> mappings;
+  auto it = mappings.find(sc.num_segments);
+  if (it == mappings.end()) {
+    auto built = NpbMapping::build(NpbMapping::streams_for(sc.num_segments),
+                                   sc.num_segments);
+    ASSERT_TRUE(built.has_value());
+    it = mappings.emplace(sc.num_segments, *built).first;
+  }
+
+  AdaptiveVideoConfig config;
+  config.num_segments = sc.num_segments;
+  config.ewma.half_life_slots = 8.0;  // nervous estimator: more real churn
+  config.controller.min_dwell_slots = sc.min_dwell;
+  TransitionAuditor auditor;
+  AdaptiveVideo video(config, &it->second, &auditor);
+  Rng rng(sc.seed);
+
+  for (int slot = 0; slot < sc.slots && !testing::Test::HasFailure(); ++slot) {
+    video.advance_slot();
+    video.on_slot_arrivals(rng.poisson(sc.arrivals_per_slot));
+    if (rng.uniform() < sc.switch_prob) {
+      video.force_mode(static_cast<ServingMode>(rng.uniform_index(3)));
+    }
+    ASSERT_TRUE(auditor.report().ok())
+        << "seed=" << sc.seed << " n=" << sc.num_segments << " slot="
+        << video.now() << ": " << auditor.report().to_string();
+    ++*audited;
+  }
+  // Drain: every committed reception is due within one window/period of the
+  // last admission; nothing may be left owed once the horizon passes.
+  for (int i = 0; i < 2 * sc.num_segments + 2; ++i) {
+    video.advance_slot();
+    video.on_slot_arrivals(0);
+    ++*audited;
+  }
+  ASSERT_TRUE(auditor.report().ok()) << auditor.report().to_string();
+  EXPECT_EQ(auditor.pending_receptions(), 0u) << "seed=" << sc.seed;
+  EXPECT_GT(auditor.transitions_seen(), 0u) << "seed=" << sc.seed;
+  EXPECT_GT(auditor.receptions_checked(), 0u);
+}
+
+TEST(FuzzSwitchInjection, MigrationInvariantUnderRandomSwitching) {
+  // The acceptance bar: > 10k audited steps with switches injected at
+  // random points, across video sizes, arrival intensities, and dwell
+  // configurations — zero violations, nothing left undelivered.
+  uint64_t audited = 0;
+  uint64_t seed = 1000;
+
+  for (int n : {1, 5, 20}) {
+    SwitchFuzzConfig sc;
+    sc.num_segments = n;
+    sc.seed = ++seed;
+    run_switch_fuzz(sc, &audited);
+    if (testing::Test::HasFailure()) return;
+  }
+
+  // Sparse arrivals: long idle stretches (the scheduler-clock-offset and
+  // lazy-creation paths), switches landing on empty schedules.
+  {
+    SwitchFuzzConfig sc;
+    sc.arrivals_per_slot = 0.05;
+    sc.switch_prob = 0.1;
+    sc.seed = ++seed;
+    run_switch_fuzz(sc, &audited);
+    if (testing::Test::HasFailure()) return;
+  }
+
+  // Dense arrivals + maximal switch pressure.
+  {
+    SwitchFuzzConfig sc;
+    sc.arrivals_per_slot = 3.0;
+    sc.switch_prob = 0.3;
+    sc.seed = ++seed;
+    run_switch_fuzz(sc, &audited);
+    if (testing::Test::HasFailure()) return;
+  }
+
+  // A realistic dwell: forced switches queue behind the controller's own
+  // hysteresis decisions instead of committing immediately.
+  {
+    SwitchFuzzConfig sc;
+    sc.min_dwell = 32;
+    sc.switch_prob = 0.15;
+    sc.seed = ++seed;
+    run_switch_fuzz(sc, &audited);
+    if (testing::Test::HasFailure()) return;
+  }
+
+  EXPECT_GE(audited, 10000u);
 }
 
 TEST(FuzzModeDiff, CappedClient) {

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "server/multi_video.h"
+
+namespace vod {
+namespace {
+
+MultiVideoConfig base_config() {
+  MultiVideoConfig c;
+  c.catalog_size = 6;
+  c.num_segments = 20;
+  c.policy = VideoPolicy::kAdaptive;
+  c.total_requests_per_hour = 30.0;
+  c.diurnal_peak_requests_per_hour = 600.0;
+  c.warmup_hours = 2.0;
+  c.measured_hours = 30.0;
+  c.provision_window_slots = 50;
+  // Tight bands + short dwell so the short test window sees real switching.
+  c.adaptive.ewma.half_life_slots = 16.0;
+  c.adaptive.controller.min_dwell_slots = 16;
+  c.seed = 7;
+  return c;
+}
+
+void expect_identical(const MultiVideoResult& a, const MultiVideoResult& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_DOUBLE_EQ(a.avg_streams, b.avg_streams);
+  EXPECT_DOUBLE_EQ(a.max_streams, b.max_streams);
+  ASSERT_EQ(a.per_video_avg.size(), b.per_video_avg.size());
+  for (size_t v = 0; v < a.per_video_avg.size(); ++v) {
+    EXPECT_DOUBLE_EQ(a.per_video_avg[v], b.per_video_avg[v]) << v;
+  }
+  ASSERT_EQ(a.per_video_provisioned.size(), b.per_video_provisioned.size());
+  for (size_t v = 0; v < a.per_video_provisioned.size(); ++v) {
+    EXPECT_DOUBLE_EQ(a.per_video_provisioned[v], b.per_video_provisioned[v])
+        << v;
+  }
+  EXPECT_EQ(a.per_video_switches, b.per_video_switches);
+  EXPECT_EQ(a.per_video_requests, b.per_video_requests);
+}
+
+TEST(MultiVideoAdaptive, BitIdenticalAtAnyThreadCount) {
+  // The acceptance bar: the adaptive policy under a diurnal curve must be
+  // bit-identical at 1/2/4/8 worker threads (per-shard determinism; no
+  // state escapes a video's shard kernel).
+  MultiVideoConfig c = base_config();
+  c.num_threads = 1;
+  const MultiVideoResult t1 = run_multi_video_simulation(c);
+  for (int threads : {2, 4, 8}) {
+    c.num_threads = threads;
+    const MultiVideoResult tn = run_multi_video_simulation(c);
+    SCOPED_TRACE(threads);
+    expect_identical(t1, tn);
+  }
+}
+
+TEST(MultiVideoAdaptive, DiurnalSwingActuallySwitches) {
+  // A 20x day/night swing crossing both ladder boundaries has to produce
+  // mode switches somewhere in the catalog — otherwise the controller is
+  // inert and the policy degenerates to a static pin.
+  const MultiVideoResult r = run_multi_video_simulation(base_config());
+  uint64_t switches = 0;
+  for (uint64_t s : r.per_video_switches) switches += s;
+  EXPECT_GT(switches, 0u);
+  EXPECT_GT(r.requests, 0u);
+}
+
+TEST(MultiVideoAdaptive, ZeroRateCatalogIsLegalAndFinite) {
+  // The degenerate dead server: no arrivals at all. Every statistic must
+  // be a real number — the EWMA holds exactly 0 and the controller walks
+  // down to the cheapest rung (one switch from the kDhb start) and stays.
+  MultiVideoConfig c = base_config();
+  c.total_requests_per_hour = 0.0;
+  c.diurnal_peak_requests_per_hour = 0.0;
+  c.measured_hours = 4.0;
+  const MultiVideoResult r = run_multi_video_simulation(c);
+  EXPECT_EQ(r.requests, 0u);
+  EXPECT_FALSE(std::isnan(r.avg_streams));
+  EXPECT_DOUBLE_EQ(r.avg_streams, 0.0);
+  for (double p : r.per_video_provisioned) {
+    EXPECT_FALSE(std::isnan(p));
+    EXPECT_DOUBLE_EQ(p, 0.0);
+  }
+  for (uint64_t s : r.per_video_switches) EXPECT_LE(s, 1u);
+}
+
+TEST(MultiVideoAdaptive, ZeroMeasuredWindowIsLegalAndFinite) {
+  MultiVideoConfig c = base_config();
+  c.warmup_hours = 1.0;
+  c.measured_hours = 0.0;
+  const MultiVideoResult r = run_multi_video_simulation(c);
+  EXPECT_EQ(r.measured_slots, 0u);
+  EXPECT_FALSE(std::isnan(r.avg_streams));
+  for (double p : r.per_video_provisioned) EXPECT_FALSE(std::isnan(p));
+}
+
+TEST(MultiVideoAdaptive, PinnedStaticLadderMatchesTheStaticPolicy) {
+  // A ladder pinned to the static rung runs the frontier-baseline code
+  // path; it must reproduce the dedicated kStatic policy's bandwidth
+  // exactly (same mappings, same always-on accounting).
+  MultiVideoConfig pinned = base_config();
+  pinned.adaptive.controller.initial_mode = 2;
+  pinned.adaptive.controller.min_mode = 2;
+  pinned.adaptive.controller.max_mode = 2;
+  const MultiVideoResult a = run_multi_video_simulation(pinned);
+
+  MultiVideoConfig stat = base_config();
+  stat.policy = VideoPolicy::kStatic;
+  const MultiVideoResult s = run_multi_video_simulation(stat);
+
+  EXPECT_DOUBLE_EQ(a.avg_streams, s.avg_streams);
+  EXPECT_DOUBLE_EQ(a.max_streams, s.max_streams);
+  for (size_t v = 0; v < a.per_video_avg.size(); ++v) {
+    EXPECT_DOUBLE_EQ(a.per_video_avg[v], s.per_video_avg[v]) << v;
+  }
+  for (uint64_t sw : a.per_video_switches) EXPECT_EQ(sw, 0u);
+}
+
+TEST(MultiVideoAdaptive, ProvisionedBandwidthIsWindowPeakMean) {
+  // Provisioned >= average (a mean of window maxima), and absent when the
+  // accounting is off.
+  MultiVideoConfig c = base_config();
+  const MultiVideoResult with = run_multi_video_simulation(c);
+  ASSERT_EQ(with.per_video_provisioned.size(),
+            static_cast<size_t>(c.catalog_size));
+  for (size_t v = 0; v < with.per_video_provisioned.size(); ++v) {
+    EXPECT_GE(with.per_video_provisioned[v], with.per_video_avg[v] - 1e-9)
+        << v;
+  }
+  c.provision_window_slots = 0;
+  const MultiVideoResult without = run_multi_video_simulation(c);
+  EXPECT_TRUE(without.per_video_provisioned.empty());
+  // The provisioning accounting is observational: it must not perturb the
+  // simulation itself.
+  EXPECT_DOUBLE_EQ(with.avg_streams, without.avg_streams);
+  EXPECT_EQ(with.requests, without.requests);
+}
+
+TEST(MultiVideoAdaptive, FastAndNaiveEnginePathsAgree) {
+  MultiVideoConfig c = base_config();
+  c.measured_hours = 10.0;
+  c.fast_admission = true;
+  const MultiVideoResult fast = run_multi_video_simulation(c);
+  c.fast_admission = false;
+  const MultiVideoResult naive = run_multi_video_simulation(c);
+  expect_identical(fast, naive);
+}
+
+}  // namespace
+}  // namespace vod

@@ -157,10 +157,17 @@ TEST(MultiVideoDeath, InvalidConfigsFailFast) {
     EXPECT_DEATH(run_multi_video_simulation(c), "Zipf exponent");
   }
   {
-    // A zero rate used to hand PoissonProcess a degenerate rate instead of
-    // failing at the config boundary.
-    MultiVideoConfig c = quick(VideoPolicy::kDhb, 0.0);
+    // Zero is a legal degenerate rate (a dead catalog simulates to an
+    // all-idle result — see MultiVideoAdaptive.ZeroRateCatalogIsLegalAndFinite
+    // in multi_video_adaptive_test.cc); negative is not.
+    MultiVideoConfig c = quick(VideoPolicy::kDhb, -1.0);
     EXPECT_DEATH(run_multi_video_simulation(c), "request rate");
+  }
+  {
+    // The diurnal peak must dominate the off-peak rate it modulates.
+    MultiVideoConfig c = quick(VideoPolicy::kDhb, 100.0);
+    c.diurnal_peak_requests_per_hour = 50.0;
+    EXPECT_DEATH(run_multi_video_simulation(c), "diurnal peak");
   }
   {
     MultiVideoConfig c = quick(VideoPolicy::kHybrid, 100.0);

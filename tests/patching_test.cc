@@ -85,10 +85,43 @@ TEST(Patching, AutoThresholdNearClosedFormOptimum) {
   c.restart_threshold_s = -1.0;
   const TappingResult r = run_patching_simulation(c);
   const double lambda = 20.0 / 3600.0;
-  const double best = patching_expected_bandwidth(
-      lambda, 7200.0, patching_optimal_threshold(lambda, 7200.0));
-  // Grid optimization should come within ~10% of the analytic optimum.
+  const double theta = patching_optimal_threshold(lambda, 7200.0);
+  const double best = patching_expected_bandwidth(lambda, 7200.0, theta);
   EXPECT_LT(r.avg_streams, best * 1.10);
+  // Regression: the no-arrivals overload used to fall through to the
+  // tapping pilot-grid search for its default threshold while the
+  // explicit-arrivals overload applied the closed form — the same config
+  // simulated under two different thresholds. Both overloads now resolve
+  // the analytic optimum.
+  EXPECT_DOUBLE_EQ(r.restart_threshold_s, theta);
+}
+
+TEST(Patching, DefaultThresholdConsistentAcrossOverloads) {
+  TappingConfig c = quick(20.0);
+  c.restart_threshold_s = 0.0;
+  const TappingResult implicit = run_patching_simulation(c);
+  PoissonProcess arrivals(per_hour(c.requests_per_hour), Rng(c.seed));
+  const TappingResult explicit_arrivals = run_patching_simulation(c, arrivals);
+  EXPECT_DOUBLE_EQ(implicit.restart_threshold_s,
+                   explicit_arrivals.restart_threshold_s);
+  // Same default arrival stream (rate + seed), same threshold -> the two
+  // overloads must agree number for number.
+  EXPECT_DOUBLE_EQ(implicit.avg_streams, explicit_arrivals.avg_streams);
+  EXPECT_EQ(implicit.requests, explicit_arrivals.requests);
+  EXPECT_EQ(implicit.originals, explicit_arrivals.originals);
+}
+
+TEST(Patching, ZeroRateIsLegalAndEmpty) {
+  // rate == 0 must not divide by zero resolving the default threshold (and
+  // the PoissonProcess must simply never arrive).
+  TappingConfig c = quick(0.0);
+  c.measured_hours = 2.0;
+  c.restart_threshold_s = 0.0;
+  const TappingResult r = run_patching_simulation(c);
+  EXPECT_EQ(r.requests, 0u);
+  EXPECT_EQ(r.originals, 0u);
+  EXPECT_DOUBLE_EQ(r.avg_streams, 0.0);
+  EXPECT_DOUBLE_EQ(r.restart_threshold_s, c.video_duration_s);
 }
 
 TEST(Patching, OriginalsSpacedByThreshold) {

@@ -1,0 +1,163 @@
+#include "core/protocol_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vod {
+namespace {
+
+// The three-rung adaptive ladder shape with round-number thresholds.
+ControllerConfig ladder(uint64_t dwell = 1) {
+  ControllerConfig c;
+  c.bands = {{/*up=*/1.0, /*down=*/0.5}, {/*up=*/10.0, /*down=*/5.0}};
+  c.min_dwell_slots = dwell;
+  c.initial_mode = 0;
+  return c;
+}
+
+TEST(ProtocolController, StartsAtInitialMode) {
+  ControllerConfig c = ladder();
+  c.initial_mode = 1;
+  ProtocolController p(c);
+  EXPECT_EQ(p.mode(), 1);
+  EXPECT_EQ(p.num_modes(), 3);
+  EXPECT_EQ(p.switches(), 0u);
+}
+
+TEST(ProtocolController, SwitchesUpAtThresholdInclusive) {
+  ProtocolController p(ladder());
+  EXPECT_EQ(p.on_slot(0.999), 0);  // strictly below up: hold
+  EXPECT_EQ(p.on_slot(1.0), 1);    // estimate >= up: move one rung
+  EXPECT_EQ(p.switches(), 1u);
+}
+
+TEST(ProtocolController, SwitchesDownAtThresholdInclusive) {
+  ControllerConfig c = ladder();
+  c.initial_mode = 1;
+  ProtocolController p(c);
+  EXPECT_EQ(p.on_slot(0.501), 1);  // inside the band: hold
+  EXPECT_EQ(p.on_slot(0.5), 0);    // estimate <= down: move back
+}
+
+TEST(ProtocolController, NoChatterInsideTheHysteresisBand) {
+  // The failure mode hysteresis exists to prevent: an estimate oscillating
+  // anywhere inside (down, up) must never cause a switch, at any dwell.
+  ControllerConfig c = ladder(/*dwell=*/1);
+  c.initial_mode = 1;
+  ProtocolController p(c);
+  for (int i = 0; i < 10000; ++i) {
+    p.on_slot(i % 2 == 0 ? 0.51 : 0.99);  // hugs both edges, crosses neither
+    EXPECT_EQ(p.mode(), 1);
+  }
+  EXPECT_EQ(p.switches(), 0u);
+}
+
+TEST(ProtocolController, DwellBoundsSwitchFrequency) {
+  // An adversarial estimate pinned above every threshold still cannot move
+  // the ladder faster than one rung per dwell period.
+  ProtocolController p(ladder(/*dwell=*/10));
+  std::vector<uint64_t> switch_slots;
+  for (uint64_t slot = 1; slot <= 30; ++slot) {
+    const int before = p.mode();
+    p.on_slot(1e9);
+    if (p.mode() != before) switch_slots.push_back(slot);
+  }
+  EXPECT_EQ(switch_slots, (std::vector<uint64_t>{10, 20}));
+  EXPECT_EQ(p.mode(), 2);  // topped out, one rung per dwell
+}
+
+TEST(ProtocolController, OneRungPerDecisionEvenOnASpike) {
+  // A spike crossing both boundaries at once climbs the ladder in two
+  // decisions, deliberately.
+  ProtocolController p(ladder(/*dwell=*/1));
+  EXPECT_EQ(p.on_slot(1e6), 1);
+  EXPECT_EQ(p.on_slot(1e6), 2);
+  EXPECT_EQ(p.on_slot(1e6), 2);  // already at the top
+  EXPECT_EQ(p.switches(), 2u);
+}
+
+TEST(ProtocolController, RoundTripUpAndDown) {
+  ProtocolController p(ladder(/*dwell=*/1));
+  p.on_slot(20.0);
+  p.on_slot(20.0);
+  EXPECT_EQ(p.mode(), 2);
+  p.on_slot(0.0);
+  p.on_slot(0.0);
+  EXPECT_EQ(p.mode(), 0);
+  EXPECT_EQ(p.switches(), 4u);
+}
+
+TEST(ProtocolController, PinnedLadderNeverSwitches) {
+  // min_mode == max_mode is the bench's static-pin frontier mechanism: the
+  // identical code path, decisions clamped to one rung.
+  ControllerConfig c = ladder(/*dwell=*/1);
+  c.initial_mode = 1;
+  c.min_mode = 1;
+  c.max_mode = 1;
+  ProtocolController p(c);
+  for (int i = 0; i < 100; ++i) {
+    p.on_slot(i % 2 == 0 ? 0.0 : 1e9);
+    EXPECT_EQ(p.mode(), 1);
+  }
+  EXPECT_EQ(p.switches(), 0u);
+}
+
+TEST(ProtocolController, ClampStopsAtMinAndMax) {
+  ControllerConfig c = ladder(/*dwell=*/1);
+  c.initial_mode = 1;
+  c.min_mode = 1;
+  c.max_mode = 2;
+  ProtocolController p(c);
+  p.on_slot(0.0);
+  EXPECT_EQ(p.mode(), 1);  // floor holds
+  p.on_slot(1e9);
+  EXPECT_EQ(p.mode(), 2);  // ceiling reachable
+}
+
+TEST(ProtocolController, DwellCounterResetsOnSwitch) {
+  ProtocolController p(ladder(/*dwell=*/3));
+  p.on_slot(1e9);
+  p.on_slot(1e9);
+  EXPECT_EQ(p.dwell(), 2u);
+  p.on_slot(1e9);  // third decision: switch commits
+  EXPECT_EQ(p.mode(), 1);
+  EXPECT_EQ(p.dwell(), 0u);
+}
+
+TEST(ProtocolController, DeterministicOverIdenticalEstimateSequences) {
+  // Pure decision logic: the same estimate sequence must yield the same
+  // mode trace — the property the sharded engine's bit-identity rests on.
+  std::vector<double> estimates;
+  for (int i = 0; i < 500; ++i) {
+    estimates.push_back(static_cast<double>((i * 7919) % 23));
+  }
+  ProtocolController a(ladder(/*dwell=*/5));
+  ProtocolController b(ladder(/*dwell=*/5));
+  for (double e : estimates) EXPECT_EQ(a.on_slot(e), b.on_slot(e));
+  EXPECT_EQ(a.switches(), b.switches());
+}
+
+TEST(ProtocolControllerDeath, RejectsMalformedConfigs) {
+  ControllerConfig no_bands;
+  no_bands.bands = {};
+  EXPECT_DEATH(ProtocolController{no_bands}, "");
+
+  ControllerConfig inverted = ladder();
+  inverted.bands[0] = {/*up=*/0.5, /*down=*/0.5};  // down must be < up
+  EXPECT_DEATH(ProtocolController{inverted}, "");
+
+  ControllerConfig unordered = ladder();
+  unordered.bands = {{10.0, 5.0}, {1.0, 0.5}};  // bands must ascend
+  EXPECT_DEATH(ProtocolController{unordered}, "");
+
+  ControllerConfig zero_dwell = ladder(0);
+  EXPECT_DEATH(ProtocolController{zero_dwell}, "");
+
+  ControllerConfig bad_initial = ladder();
+  bad_initial.initial_mode = 7;
+  EXPECT_DEATH(ProtocolController{bad_initial}, "");
+}
+
+}  // namespace
+}  // namespace vod

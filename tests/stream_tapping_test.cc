@@ -155,6 +155,79 @@ TEST(StreamTapping, OptimizerPicksReasonableThreshold) {
             run_tapping_simulation(never).avg_streams * 1.05);
 }
 
+// --- Mid-stream-join boundary pins -----------------------------------------
+// The joins below land exactly ON a protocol boundary (video end, patch
+// expiry, restart threshold, stream handoff). Each tie has one correct
+// reading — these tests pin it so a refactor flipping a >= cannot silently
+// hand a client a stream that already finished.
+
+TEST(StreamTapping, JoinExactlyAtVideoEndRestarts) {
+  // The original admitted at 100 transmits its last content second over
+  // [7299, 7300); a client joining at exactly 100 + D = 7300 can tap
+  // nothing and must restart, not build a "patch" spanning the whole video.
+  TappingConfig c = quick(1.0, TappingMode::kStreamTapping);
+  c.restart_threshold_s = 7000.0;
+  c.warmup_hours = 0.0;
+  c.measured_hours = 5.0;
+  ScriptedArrivals arrivals({100.0, 7300.0});
+  const TappingResult r = run_tapping_simulation(c, arrivals);
+  EXPECT_EQ(r.originals, 2u);
+  EXPECT_NEAR(r.avg_streams * 5.0 * 3600.0, 2.0 * 7200.0, 1.0);
+}
+
+TEST(StreamTapping, JoinExactlyAtRestartThresholdRestarts) {
+  // cost == theta is the indifference point; the protocol restarts there
+  // (>=, matching the closed-form renewal cycle that opens WITH the
+  // threshold-crossing arrival).
+  TappingConfig c = quick(1.0, TappingMode::kPatching);
+  c.restart_threshold_s = 1000.0;
+  c.warmup_hours = 0.0;
+  c.measured_hours = 5.0;
+  ScriptedArrivals arrivals({100.0, 1100.0});
+  const TappingResult r = run_tapping_simulation(c, arrivals);
+  EXPECT_EQ(r.originals, 2u);
+  EXPECT_DOUBLE_EQ(r.avg_cost_s, 7200.0);  // both paid a full original
+}
+
+TEST(StreamTapping, JoinExactlyAtPatchExpiryCannotTapIt) {
+  // The level-1 patch admitted at 400 carries [0, 300): its last content
+  // second goes out over [699, 700). A client joining at exactly 700 gets
+  // nothing from it and pays its full 600 s prefix.
+  TappingConfig c = quick(1.0, TappingMode::kStreamTapping);
+  c.restart_threshold_s = 3600.0;
+  c.warmup_hours = 0.0;
+  c.measured_hours = 5.0;
+  ScriptedArrivals arrivals({100.0, 400.0, 700.0});
+  const TappingResult r = run_tapping_simulation(c, arrivals);
+  EXPECT_EQ(r.originals, 1u);
+  EXPECT_NEAR(r.avg_streams * 5.0 * 3600.0, 7200.0 + 300.0 + 600.0, 1.0);
+}
+
+TEST(StreamTapping, JoinJustBeforePatchExpiryTapsTheTail) {
+  // One second earlier the patch is still live: it will yet transmit
+  // content (299, 300), so the joiner at 699 pays 599 - 1 = 598 s.
+  TappingConfig c = quick(1.0, TappingMode::kStreamTapping);
+  c.restart_threshold_s = 3600.0;
+  c.warmup_hours = 0.0;
+  c.measured_hours = 5.0;
+  ScriptedArrivals arrivals({100.0, 400.0, 699.0});
+  const TappingResult r = run_tapping_simulation(c, arrivals);
+  EXPECT_NEAR(r.avg_streams * 5.0 * 3600.0, 7200.0 + 300.0 + 598.0, 1.0);
+}
+
+TEST(StreamTapping, TouchingStreamsDoNotDoubleCountPeak) {
+  // Patch 1 is active over wall [400, 700); the t=700 joiner's own stream
+  // opens at exactly 700. Close sorts before open at equal times, so the
+  // peak is 2 concurrent streams (original + one patch), never 3.
+  TappingConfig c = quick(1.0, TappingMode::kStreamTapping);
+  c.restart_threshold_s = 3600.0;
+  c.warmup_hours = 0.0;
+  c.measured_hours = 5.0;
+  ScriptedArrivals arrivals({100.0, 400.0, 700.0});
+  const TappingResult r = run_tapping_simulation(c, arrivals);
+  EXPECT_DOUBLE_EQ(r.max_streams, 2.0);
+}
+
 TEST(StreamTapping, MaxAtLeastAverage) {
   const TappingResult r =
       run_tapping_simulation(quick(20.0, TappingMode::kStreamTapping));
