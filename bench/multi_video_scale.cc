@@ -1,10 +1,20 @@
 // Scaling of the sharded multi-video engine: slots/sec and parallel
 // speedup for 100 / 1,000 / 10,000-video Zipf catalogs at 1 / 2 / 4 / 8
 // threads, with a built-in bit-identity check (every thread count must
-// reproduce the 1-thread result exactly — see DESIGN.md §8).
+// reproduce the 1-thread result exactly — see DESIGN.md §8) folded into a
+// per-point FNV checksum over every per-video figure.
+//
+// The checksum is a deterministic function of the scheduling decisions on
+// a fixed seed, so it doubles as the slab-layout identity proof: the
+// data-oriented slot kernel (DESIGN.md §14) must reproduce the legacy
+// vector-of-vectors layout's checksums bit for bit, and
+// scripts/bench_compare.py compares them across regenerations against the
+// committed BENCH_multi_video.json.
 //
 // Usage: multi_video_scale [--smoke] [output.json]
-//   --smoke  quick CI variant: smallest catalog only, 1 and 2 threads.
+//   --smoke  quick CI variant: smallest catalog only, 1 and 2 threads —
+//   but the SAME workload parameters as the full grid, so the smoke
+//   points replay committed baseline points exactly (checksums match).
 //   Writes a machine-readable record to BENCH_multi_video.json (or the
 //   given path) next to the human-readable table.
 #include <chrono>
@@ -28,30 +38,58 @@ struct Measurement {
   double seconds = 0.0;
   double slots_per_sec = 0.0;  // video-slot advances per wall second
   double speedup = 1.0;        // vs the 1-thread run of the same catalog
+  uint64_t checksum = 0;       // FNV-1a over every per-video figure
   MultiVideoResult result;
 };
 
-MultiVideoConfig scale_config(int catalog, bool smoke) {
+void mix(uint64_t v, uint64_t* checksum) {
+  *checksum ^= v;
+  *checksum *= 1099511628211ull;  // FNV prime
+}
+
+void mix_double(double v, uint64_t* checksum) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  mix(bits, checksum);
+}
+
+uint64_t result_checksum(const MultiVideoResult& r) {
+  uint64_t checksum = 1469598103934665603ull;  // FNV-1a offset basis
+  mix(r.requests, &checksum);
+  mix(r.measured_slots, &checksum);
+  mix_double(r.avg_streams, &checksum);
+  mix_double(r.max_streams, &checksum);
+  mix_double(r.avg_kbs, &checksum);
+  mix_double(r.max_kbs, &checksum);
+  for (double a : r.per_video_avg) mix_double(a, &checksum);
+  for (uint64_t q : r.per_video_requests) mix(q, &checksum);
+  return checksum;
+}
+
+MultiVideoConfig scale_config(int catalog) {
   MultiVideoConfig c;
   c.catalog_size = catalog;
   c.num_segments = 99;
   c.total_requests_per_hour = 2000.0;
-  c.warmup_hours = smoke ? 0.5 : 2.0;
-  c.measured_hours = smoke ? 4.0 : 20.0;
+  c.warmup_hours = 2.0;
+  c.measured_hours = 20.0;
   c.seed = 20010416;
   return c;
 }
 
-bool identical(const MultiVideoResult& a, const MultiVideoResult& b) {
-  return a.avg_streams == b.avg_streams && a.max_streams == b.max_streams &&
-         a.avg_kbs == b.avg_kbs && a.max_kbs == b.max_kbs &&
-         a.requests == b.requests && a.measured_slots == b.measured_slots &&
-         a.per_video_avg == b.per_video_avg &&
-         a.per_video_requests == b.per_video_requests;
+bool identical(const Measurement& a, const Measurement& b) {
+  return a.checksum == b.checksum && a.result.avg_streams == b.result.avg_streams &&
+         a.result.max_streams == b.result.max_streams &&
+         a.result.avg_kbs == b.result.avg_kbs &&
+         a.result.max_kbs == b.result.max_kbs &&
+         a.result.requests == b.result.requests &&
+         a.result.measured_slots == b.result.measured_slots &&
+         a.result.per_video_avg == b.result.per_video_avg &&
+         a.result.per_video_requests == b.result.per_video_requests;
 }
 
-Measurement run_point(int catalog, int threads, bool smoke) {
-  MultiVideoConfig c = scale_config(catalog, smoke);
+Measurement run_point(int catalog, int threads) {
+  MultiVideoConfig c = scale_config(catalog);
   c.num_threads = threads;
   const auto start = std::chrono::steady_clock::now();
   Measurement m;
@@ -60,6 +98,7 @@ Measurement run_point(int catalog, int threads, bool smoke) {
   m.catalog = catalog;
   m.threads = threads;
   m.seconds = std::chrono::duration<double>(end - start).count();
+  m.checksum = result_checksum(m.result);
   const double total_slots =
       static_cast<double>(m.result.measured_slots) +
       std::ceil(c.warmup_hours * 3600.0 / c.slot_duration_s);
@@ -85,10 +124,12 @@ void write_json(const std::string& path,
                  "    {\"catalog\": %d, \"threads\": %d, "
                  "\"seconds\": %.6f, \"slots_per_sec\": %.1f, "
                  "\"speedup\": %.3f, \"avg_streams\": %.6f, "
-                 "\"max_streams\": %.1f, \"requests\": %llu}%s\n",
+                 "\"max_streams\": %.1f, \"requests\": %llu, "
+                 "\"checksum\": %llu}%s\n",
                  m.catalog, m.threads, m.seconds, m.slots_per_sec, m.speedup,
                  m.result.avg_streams, m.result.max_streams,
                  static_cast<unsigned long long>(m.result.requests),
+                 static_cast<unsigned long long>(m.checksum),
                  i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -131,14 +172,13 @@ int main(int argc, char** argv) {
   for (int catalog : catalogs) {
     Measurement baseline;
     for (int threads : thread_counts) {
-      Measurement m = run_point(catalog, threads, smoke);
+      Measurement m = run_point(catalog, threads);
       if (threads == 1) {
         baseline = m;
       } else {
         m.speedup = baseline.seconds / (m.seconds > 0.0 ? m.seconds : 1e-9);
       }
-      const bool same =
-          threads == 1 || identical(baseline.result, m.result);
+      const bool same = threads == 1 || identical(baseline, m);
       all_identical = all_identical && same;
       table.add_row({std::to_string(catalog), std::to_string(threads),
                      format_double(m.seconds, 3),

@@ -69,9 +69,28 @@ adaptive_switching — guards the per-video protocol-switching controller
   files on shared points — the smoke point reruns the committed mid
   workload in full, so CI replays it bit-for-bit.
 
-Only points present in BOTH inputs (matched on (segments, arrivals_per_slot))
-are compared, so a smoke run's subset checks cleanly against the committed
-full-grid baseline.
+multi_video_scale — guards the sharded multi-video engine and the
+data-oriented slot kernel under it (DESIGN.md §14). Checks applied to
+BENCH_multi_video.json pairs:
+
+* determinism, re-checked from BOTH files: every point must be
+  bit-identical across its recorded thread counts, and the per-point FNV
+  checksums (folded over requests, measured slots, and every per-slot /
+  per-video aggregate) must match exactly between the two files on shared
+  (catalog, threads) points. The checksums are deterministic functions of
+  the workload on a fixed seed, so any divergence means the slab kernel,
+  the coalesced admission path, or the shard merge changed semantics —
+  never runner noise.
+
+* throughput: slots/sec per shared point is guarded by a loose wall-clock
+  threshold (--max-drop-speedup, default 50%) that catches gross
+  constant-factor regressions (an accidental re-layout per slot, a lost
+  zero-allocation path) without flaking on shared runners.
+
+Only points present in BOTH inputs (matched on (segments, arrivals_per_slot)
+for the admission/observability/adaptive records, on (catalog, threads) for
+multi_video_scale) are compared, so a smoke run's subset checks cleanly
+against the committed full-grid baseline.
 
 Usage:
   scripts/bench_compare.py BASELINE CURRENT
@@ -86,7 +105,7 @@ import json
 import sys
 
 KNOWN = ("admission_throughput", "observability_overhead",
-         "adaptive_switching")
+         "adaptive_switching", "multi_video_scale")
 
 # Ceiling on trace events per slot of the identity run. The instrumented
 # paths emit a constant handful per slot/batch (streams counter, one
@@ -106,7 +125,10 @@ def load_one(path):
         sys.exit(f"{path}: unknown benchmark tag {doc.get('benchmark')!r}")
     points = {}
     for p in doc.get("points", []):
-        key = (int(p["segments"]), float(p["arrivals_per_slot"]))
+        if doc["benchmark"] == "multi_video_scale":
+            key = (int(p["catalog"]), int(p["threads"]))
+        else:
+            key = (int(p["segments"]), float(p["arrivals_per_slot"]))
         points[key] = p
     if not points:
         sys.exit(f"{path}: no benchmark points")
@@ -298,6 +320,42 @@ def compare_adaptive(base_doc, base, cur_doc, cur, shared, args):
     return failures
 
 
+def compare_multi_video(base_doc, base, cur_doc, cur, shared, args):
+    for doc, points, label in ((base_doc, base, "baseline"),
+                               (cur_doc, cur, "current")):
+        if not doc.get("bit_identical_across_threads", True):
+            sys.exit(f"{label} run: thread counts diverged")
+        for key, p in points.items():
+            if not p.get("identical", True):
+                sys.exit(f"{label} run: thread counts diverged at {key}")
+
+    failures = []
+    print("determinism: per-point checksums must match exactly")
+    for key in shared:
+        want = int(base[key]["checksum"])
+        got = int(cur[key]["checksum"])
+        status = "ok" if want == got else "DIVERGED"
+        if want != got:
+            failures.append(key)
+        print(f"  catalog={key[0]:>6} threads={key[1]:>2}  "
+              f"baseline={want:20d}  current={got:20d}  {status}")
+
+    print(f"throughput: slots/sec drop capped at "
+          f"{args.max_drop_speedup:.0%} (loose wall-clock guard)")
+    for key in shared:
+        want = float(base[key]["slots_per_sec"])
+        got = float(cur[key]["slots_per_sec"])
+        drop = 0.0 if want <= 0 else (want - got) / want
+        status = "ok"
+        if drop > args.max_drop_speedup:
+            status = "REGRESSION"
+            failures.append(key)
+        print(f"  catalog={key[0]:>6} threads={key[1]:>2}  "
+              f"baseline={want:14.1f}  current={got:14.1f}  "
+              f"drop={drop:+7.1%}  {status}")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__,
@@ -363,6 +421,9 @@ def main():
     elif base_doc["benchmark"] == "adaptive_switching":
         failures = compare_adaptive(base_doc, base, cur_doc, cur, shared,
                                     args)
+    elif base_doc["benchmark"] == "multi_video_scale":
+        failures = compare_multi_video(base_doc, base, cur_doc, cur, shared,
+                                       args)
     else:
         failures = compare_observability(base_doc, base, cur_doc, cur,
                                          shared, args)

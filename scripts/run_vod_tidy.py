@@ -42,6 +42,7 @@ ALL_CHECKS = (
     "vod-macro-side-effects",
     "vod-rng-discipline",
     "vod-float-slot-accumulation",
+    "vod-nested-vector-hot-path",
 )
 
 EXPECT_RE = re.compile(r"//\s*LINT-EXPECT:\s*([a-z0-9-]+)")

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <sstream>
 
 #include "core/dhb.h"
@@ -96,7 +97,7 @@ AuditReport ScheduleAuditor::audit_schedule(const SlotSchedule& s) const {
   std::vector<int> counted(static_cast<size_t>(s.window()) + 1, 0);
   int indexed_total = 0;
   for (Segment j = 1; j <= s.num_segments(); ++j) {
-    const std::vector<Slot>& slots = s.instances_of(j);
+    const std::span<const Slot> slots = s.instances_of(j);
     if (slots.empty() != !s.has_future_instance(j)) {
       add_violation(&report, AuditViolationKind::kContentsMismatch, j, 0,
                     "has_future_instance disagrees with instances_of");
@@ -149,11 +150,11 @@ AuditReport ScheduleAuditor::audit_schedule(const SlotSchedule& s) const {
       add_violation(&report, AuditViolationKind::kLoadMismatch, 0, slot,
                     msg.str());
     }
-    const std::vector<Segment>& ring = s.contents(slot);
+    const std::span<const Segment> ring = s.contents(slot);
     bool ring_matches = static_cast<int>(ring.size()) == indexed;
     if (ring_matches) {
       for (Segment j : ring) {
-        const std::vector<Slot>& slots = s.instances_of(j);
+        const std::span<const Slot> slots = s.instances_of(j);
         const auto begin = std::lower_bound(slots.begin(), slots.end(), slot);
         const auto end = std::upper_bound(begin, slots.end(), slot);
         const auto ring_count = std::count(ring.begin(), ring.end(), j);
@@ -334,7 +335,7 @@ void ScheduleAuditor::check_plans(const DhbScheduler& d, AuditReport* report) {
                       reception, msg.str());
       }
       if (reception > now) {
-        const std::vector<Slot>& slots = d.schedule().instances_of(j);
+        const std::span<const Slot> slots = d.schedule().instances_of(j);
         if (!std::binary_search(slots.begin(), slots.end(), reception)) {
           std::ostringstream msg;
           msg << "plan expects segment " << j << " in slot " << reception

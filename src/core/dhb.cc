@@ -87,6 +87,11 @@ DhbScheduler::DhbScheduler(const DhbConfig& config)
       c_adm_all_shared_(metrics_.counter("dhb_admissions_all_shared_total")),
       c_cap_violations_(metrics_.counter("dhb_cap_violation_slots_total")) {
   VOD_CHECK(config.client_stream_cap >= 0);
+  // Pre-size the reusable plan storage: steady-state admissions then run
+  // allocation-free (tests/alloc_audit_test.cc pins this down).
+  const size_t n = static_cast<size_t>(config.num_segments);
+  result_scratch_.plan.reception_slot.reserve(n);
+  memo_result_.plan.reception_slot.reserve(n);
 }
 
 const obs::MetricShard& DhbScheduler::metrics() const {
@@ -102,6 +107,13 @@ const obs::MetricShard& DhbScheduler::metrics() const {
   sample("schedule_overlay_ops_total", schedule_.total_overlay_ops());
   sample("schedule_index_queries_total", schedule_.total_index_queries());
   sample("schedule_index_updates_total", schedule_.total_index_updates());
+  // Memory-behavior meters (DESIGN.md §14): slab re-layouts and arena
+  // block/byte consumption across the schedule slabs and the admission
+  // scratch. The steady-state allocation audit asserts these flat.
+  sample("schedule_slab_grows_total", schedule_.total_slab_grows());
+  sample("schedule_arena_blocks_total", schedule_.total_arena_blocks());
+  sample("schedule_arena_bytes_total", schedule_.total_arena_bytes());
+  sample("dhb_scratch_blocks_total", scratch_.total_block_allocations());
   return metrics_;
 }
 
@@ -109,9 +121,9 @@ void DhbScheduler::export_metrics(obs::MetricShard* out) const {
   out->merge_from(metrics());
 }
 
-std::optional<Slot> DhbScheduler::choose_capped_slot(
-    Slot lo, Slot hi, const std::vector<int>& client_load,
-    Slot arrival) const {
+std::optional<Slot> DhbScheduler::choose_capped_slot(Slot lo, Slot hi,
+                                                     const int* client_load,
+                                                     Slot arrival) const {
   // Capped mode always applies the paper's min-load-latest rule, restricted
   // to slots where this client can still open a stream.
   std::optional<Slot> best;
@@ -149,15 +161,16 @@ DhbRequestResult DhbScheduler::on_request() {
                         {"shared", config_.num_segments});
       return memo_result_;
     }
-    DhbRequestResult result = admit(1, config_.num_segments);
+    admit(1, config_.num_segments, &result_scratch_);
     // Cache the *follower* view: same plan, everything shared.
-    memo_result_ = result;
+    memo_result_ = result_scratch_;
     memo_result_.new_instances = 0;
     memo_result_.shared_instances = config_.num_segments;
     memo_valid_ = true;
-    return result;
+    return result_scratch_;
   }
-  return admit(1, config_.num_segments);
+  admit(1, config_.num_segments, &result_scratch_);
+  return result_scratch_;
 }
 
 DhbRequestResult DhbScheduler::on_request_batch(uint64_t count) {
@@ -183,13 +196,48 @@ DhbRequestResult DhbScheduler::on_request_batch(uint64_t count) {
   return result;
 }
 
+void DhbScheduler::on_request_batch_discard(uint64_t count) {
+  VOD_DCHECK_SERIAL(serial_);
+  VOD_CHECK_MSG(count >= 1, "on_request_batch needs at least one request");
+  if (config_.coalesce_same_slot && config_.client_stream_cap == 0) {
+    uint64_t followers = count;
+    if (!memo_valid_) {
+      // Leader: one real admission, memoized as the follower view —
+      // exactly on_request()'s leader path, minus the returned copy.
+      admit(1, config_.num_segments, &result_scratch_);
+      memo_result_ = result_scratch_;
+      memo_result_.new_instances = 0;
+      memo_result_.shared_instances = config_.num_segments;
+      memo_valid_ = true;
+      followers = count - 1;
+    }
+    if (followers > 0) {
+      c_requests_->inc(followers);
+      c_shared_->inc(followers * static_cast<uint64_t>(config_.num_segments));
+      c_probes_->inc(followers * sum_periods_);
+      c_work_->inc(followers * kWorkMemoCopy);
+      c_coalesced_->inc(followers);
+      c_adm_all_shared_->inc(followers);
+      VOD_TRACE_INSTANT("admission/coalesced", "dhb", schedule_.now(),
+                        {"count", static_cast<int64_t>(followers)},
+                        {"shared", config_.num_segments});
+    }
+    return;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    admit(1, config_.num_segments, &result_scratch_);
+  }
+}
+
 DhbRequestResult DhbScheduler::on_resume(Segment first_segment) {
-  return admit(first_segment, config_.num_segments);
+  admit(first_segment, config_.num_segments, &result_scratch_);
+  return result_scratch_;
 }
 
 DhbRequestResult DhbScheduler::on_range(Segment first_segment,
                                         Segment last_segment) {
-  return admit(first_segment, last_segment);
+  admit(first_segment, last_segment, &result_scratch_);
+  return result_scratch_;
 }
 
 std::vector<int> DhbScheduler::resume_periods(Segment first_segment) const {
@@ -203,8 +251,8 @@ std::vector<int> DhbScheduler::resume_periods(Segment first_segment) const {
   return out;
 }
 
-DhbRequestResult DhbScheduler::admit(Segment first_segment,
-                                     Segment last_segment) {
+void DhbScheduler::admit(Segment first_segment, Segment last_segment,
+                         DhbRequestResult* out) {
   VOD_DCHECK_SERIAL(serial_);  // every unmemoized admission funnels through here
   VOD_CHECK(first_segment >= 1 && first_segment <= config_.num_segments);
   VOD_CHECK(last_segment >= first_segment &&
@@ -218,14 +266,23 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
   const bool fast = use_index_;
   if (first_segment != 1) had_clamped_admissions_ = true;
 
-  DhbRequestResult result;
+  DhbRequestResult& result = *out;
+  result.new_instances = 0;
+  result.shared_instances = 0;
+  result.cap_violations = 0;
   result.plan.arrival_slot = arrival;
   result.plan.reception_slot.resize(
       static_cast<size_t>(n - first_segment + 1));
 
   // Client reception load per window slot (capped mode only); index k is
-  // slot arrival + 1 + k. Member scratch: assign() reuses the capacity.
-  if (cap > 0) client_load_.assign(static_cast<size_t>(window_), 0);
+  // slot arrival + 1 + k. Scratch-arena backed: rewound on exit, reset
+  // each slot — a warm admission allocates nothing.
+  const Arena::Mark scratch_mark = scratch_.mark();
+  int* client_load = nullptr;
+  if (cap > 0) {
+    client_load = scratch_.alloc_array<int>(static_cast<size_t>(window_));
+    std::fill_n(client_load, static_cast<size_t>(window_), 0);
+  }
 
   for (Segment j = first_segment; j <= n; ++j) {
     const Slot lo = arrival + 1;
@@ -261,10 +318,10 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
       // Prefer sharing an instance in a slot with remaining client capacity
       // (latest such instance: least buffering, most future sharing).
       c_work_->inc(kWorkShareProbe);
-      const std::vector<Slot>& existing = schedule_.instances_of(j);
+      const std::span<const Slot> existing = schedule_.instances_of(j);
       for (auto it = existing.rbegin(); it != existing.rend(); ++it) {
         if (*it < lo || *it > hi) continue;
-        if (client_load_[static_cast<size_t>(*it - lo)] < cap) {
+        if (client_load[static_cast<size_t>(*it - lo)] < cap) {
           chosen = *it;
           break;
         }
@@ -281,7 +338,7 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
           if (m.load < kClientSaturatedMask) fresh = m.slot;
         } else {
           c_work_->inc(width);
-          fresh = choose_capped_slot(lo, hi, client_load_, arrival);
+          fresh = choose_capped_slot(lo, hi, client_load, arrival);
         }
         if (fresh) {
           chosen = *fresh;
@@ -316,11 +373,11 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
     }
     if (cap > 0) {
       const size_t k = static_cast<size_t>(chosen - lo);
-      ++client_load_[k];
+      ++client_load[k];
       // Exact transition to the cap (increments are by one, so every
       // saturation passes through it): mask the slot out of further
       // placement queries for this admission.
-      if (fast && client_load_[k] == cap) {
+      if (fast && client_load[k] == cap) {
         schedule_.add_load_overlay(chosen, kClientSaturatedMask);
       }
     }
@@ -329,6 +386,7 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
   }
 
   if (cap > 0 && fast) schedule_.clear_load_overlay();
+  scratch_.rewind(scratch_mark);
 
   c_requests_->inc();
   c_new_->inc(static_cast<uint64_t>(result.new_instances));
@@ -340,7 +398,6 @@ DhbRequestResult DhbScheduler::admit(Segment first_segment,
                     {"shared", result.shared_instances},
                     {"first", first_segment},
                     {"cap_violations", result.cap_violations});
-  return result;
 }
 
 std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
@@ -360,9 +417,20 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
   // Tentative additions per window slot; nothing touches the schedule
   // until every segment has found a home. Index mode records the tentative
   // placements as +1 overlay deltas so the range-min query prices them in;
-  // naive mode keeps the explicit per-slot array. Member scratch only.
-  if (!fast) bounded_added_.assign(static_cast<size_t>(window_), 0);
-  placements_.clear();
+  // naive mode keeps the explicit per-slot array. Scratch-arena backed,
+  // rewound on every exit path.
+  const Arena::Mark scratch_mark = scratch_.mark();
+  int* bounded_added = nullptr;
+  if (!fast) {
+    bounded_added = scratch_.alloc_array<int>(static_cast<size_t>(window_));
+    std::fill_n(bounded_added, static_cast<size_t>(window_), 0);
+  }
+  struct Placement {
+    Segment segment;
+    Slot slot;
+  };
+  auto* placements = scratch_.alloc_array<Placement>(static_cast<size_t>(n));
+  size_t placed = 0;
 
   DhbRequestResult result;
   result.plan.arrival_slot = arrival;
@@ -391,7 +459,7 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
         int best_load = channel_cap;
         for (Slot s = hi; s >= lo; --s) {
           const int load =
-              schedule_.load(s) + bounded_added_[static_cast<size_t>(s - lo)];
+              schedule_.load(s) + bounded_added[static_cast<size_t>(s - lo)];
           if (load < best_load) {
             best_load = load;
             chosen = s;
@@ -404,6 +472,7 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
         // (admitted + rejected)) instead of silently skewing the
         // per-admission cost metric.
         if (fast) schedule_.clear_load_overlay();
+        scratch_.rewind(scratch_mark);
         c_rejected_->inc();
         VOD_TRACE_INSTANT("admission/rejected", "dhb", arrival,
                           {"segment", j}, {"channel_cap", channel_cap});
@@ -412,9 +481,9 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
       if (fast) {
         schedule_.add_load_overlay(chosen, 1);
       } else {
-        ++bounded_added_[static_cast<size_t>(chosen - lo)];
+        ++bounded_added[static_cast<size_t>(chosen - lo)];
       }
-      placements_.push_back({j, chosen});
+      placements[placed++] = Placement{j, chosen};
       ++result.new_instances;
       c_work_->inc(kWorkCommit);
     }
@@ -424,9 +493,10 @@ std::optional<DhbRequestResult> DhbScheduler::on_request_bounded(
   // Commit: drop the tentative overlay first so add_instance's real +1s
   // are not double-counted by the index.
   if (fast) schedule_.clear_load_overlay();
-  for (const auto& [segment, slot] : placements_) {
-    schedule_.add_instance(segment, slot);
+  for (size_t p = 0; p < placed; ++p) {
+    schedule_.add_instance(placements[p].segment, placements[p].slot);
   }
+  scratch_.rewind(scratch_mark);
   c_requests_->inc();
   c_new_->inc(static_cast<uint64_t>(result.new_instances));
   c_shared_->inc(static_cast<uint64_t>(result.shared_instances));
@@ -454,10 +524,14 @@ void DhbScheduler::set_heuristic(SlotHeuristic heuristic) {
                     {"heuristic", static_cast<int>(heuristic)});
 }
 
-std::vector<Segment> DhbScheduler::advance_slot() {
+std::span<const Segment> DhbScheduler::advance_slot_view() {
   VOD_DCHECK_SERIAL(serial_);
   memo_valid_ = false;  // plans are per-arrival-slot; the clock moved
-  std::vector<Segment> out = schedule_.advance();
+  // Slot boundary: every per-admission scratch allocation is dead, so the
+  // arena drops back to empty (blocks retained — warm slots allocate
+  // nothing from the system).
+  scratch_.reset();
+  const std::span<const Segment> out = schedule_.advance();
   // Per-slot server bandwidth in streams: a Chrome counter track that
   // renders the paper's Figure 7/8 load curves directly in the trace UI.
   VOD_TRACE_COUNTER("streams", "dhb", schedule_.now(), out.size());
@@ -467,6 +541,11 @@ std::vector<Segment> DhbScheduler::advance_slot() {
   audit_or_die(*this);
 #endif
   return out;
+}
+
+std::vector<Segment> DhbScheduler::advance_slot() {
+  const std::span<const Segment> out = advance_slot_view();
+  return std::vector<Segment>(out.begin(), out.end());
 }
 
 }  // namespace vod

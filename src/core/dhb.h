@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -39,6 +40,7 @@
 #include "schedule/slot_schedule.h"
 #include "schedule/types.h"
 #include "sim/random.h"
+#include "util/arena.h"
 #include "util/thread_checker.h"
 
 namespace vod {
@@ -105,6 +107,14 @@ class DhbScheduler {
   // Poisson arrivals. Requires count >= 1.
   DhbRequestResult on_request_batch(uint64_t count);
 
+  // Exactly on_request_batch(count) minus the returned plan: the same
+  // schedule mutations, memo handling, and counter arithmetic,
+  // bit-identically, but nothing is materialized for the caller. The
+  // multi-video engine's hot entry point — with a warm scheduler this
+  // admits a batch with zero heap allocations (the steady-state
+  // allocation audit holds the engine loop to that).
+  void on_request_batch_discard(uint64_t count);
+
   // Admits a VCR resume/seek: a client that wants to watch segments
   // first..n starting next slot (it watches S_j during slot
   // now + (j - first + 1)). The windows are the base windows clamped to
@@ -137,6 +147,11 @@ class DhbScheduler {
   // Advances to the next slot; returns the segments the server transmits
   // during it (the per-slot bandwidth in streams is the vector's size).
   std::vector<Segment> advance_slot();
+
+  // advance_slot() without the copy: the span views the schedule's slab
+  // row for the new current slot, valid until the next mutating call on
+  // this scheduler. The zero-allocation path the engine loop runs.
+  std::span<const Segment> advance_slot_view();
 
   // Switches the slot-choice rule live, mid-schedule — the reactive⇄DHB leg
   // of an adaptive protocol transition (server/adaptive_video.h). Committed
@@ -211,13 +226,18 @@ class DhbScheduler {
 
  private:
   // Slot choice restricted to slots where the client still has reception
-  // capacity; nullopt when no slot in [lo, hi] qualifies.
+  // capacity; nullopt when no slot in [lo, hi] qualifies. `client_load`
+  // has window_ entries (scratch-arena backed).
   std::optional<Slot> choose_capped_slot(Slot lo, Slot hi,
-                                         const std::vector<int>& client_load,
+                                         const int* client_load,
                                          Slot arrival) const;
 
   // Shared admission path; windows (now, now + min(T[j], j - first + 1)].
-  DhbRequestResult admit(Segment first_segment, Segment last_segment);
+  // Writes into *out (plan storage is reused across calls, so a warm
+  // scheduler admits without allocating); public entry points copy out of
+  // the member scratch when they must return by value.
+  void admit(Segment first_segment, Segment last_segment,
+             DhbRequestResult* out);
 
   // Single-writer discipline (DESIGN.md §11): a scheduler — its schedule,
   // rng, memo, and the lifetime counters in metrics_ — is mutated by one
@@ -258,10 +278,17 @@ class DhbScheduler {
   bool memo_valid_ = false;
   DhbRequestResult memo_result_;
 
-  // Reusable per-admission scratch (avoids per-request heap churn).
-  std::vector<int> client_load_;                    // capped mode
-  std::vector<int> bounded_added_;                  // bounded naive mode
-  std::vector<std::pair<Segment, Slot>> placements_;  // bounded tentatives
+  // Reusable admission result; admit() writes here and the public entry
+  // points copy out when their signature returns by value (the discard
+  // batch path never does).
+  DhbRequestResult result_scratch_;
+
+  // Per-scheduler scratch region (DESIGN.md §14): transient per-admission
+  // arrays — capped-mode client loads, bounded-mode tentative placements —
+  // are bump-allocated here under a mark()/rewind() pair, and the whole
+  // region is reset when the clock advances. After warmup the region
+  // recycles its warm blocks: zero system allocations per slot.
+  Arena scratch_{size_t{4096}};
 };
 
 }  // namespace vod

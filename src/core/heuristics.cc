@@ -33,34 +33,17 @@ Slot choose_slot(SlotHeuristic h, const SlotSchedule& schedule, Slot lo,
       return lo + static_cast<Slot>(
                       rng->uniform_index(static_cast<uint64_t>(hi - lo + 1)));
     }
-    case SlotHeuristic::kMinLoadLatest: {
+    case SlotHeuristic::kMinLoadLatest:
       // "let m_min := min {m_k | lo <= k <= hi};
-      //  let k_max := max {k | m_k = m_min}" — Figure 6.
+      //  let k_max := max {k | m_k = m_min}" — Figure 6. The naive mode is
+      // the same hi→lo linear scan, batched over the contiguous load ring
+      // (scan_min_load_latest probes the raw counters range-wise, no
+      // per-slot modulo).
       if (use_index) return schedule.min_load_latest(lo, hi).slot;
-      Slot best = hi;
-      int best_load = schedule.load(hi);
-      for (Slot s = hi - 1; s >= lo; --s) {
-        const int m = schedule.load(s);
-        if (m < best_load) {
-          best_load = m;
-          best = s;
-        }
-      }
-      return best;
-    }
-    case SlotHeuristic::kMinLoadEarliest: {
+      return schedule.scan_min_load_latest(lo, hi).slot;
+    case SlotHeuristic::kMinLoadEarliest:
       if (use_index) return schedule.min_load_earliest(lo, hi).slot;
-      Slot best = lo;
-      int best_load = schedule.load(lo);
-      for (Slot s = lo + 1; s <= hi; ++s) {
-        const int m = schedule.load(s);
-        if (m < best_load) {
-          best_load = m;
-          best = s;
-        }
-      }
-      return best;
-    }
+      return schedule.scan_min_load_earliest(lo, hi).slot;
   }
   VOD_CHECK(false);
   return lo;

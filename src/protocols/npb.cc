@@ -40,8 +40,11 @@ std::optional<NpbMapping> NpbMapping::build(int streams, int num_segments) {
   NpbMapping m;
   m.streams_ = streams;
   m.n_ = num_segments;
-  m.per_stream_.resize(static_cast<size_t>(streams));
   m.period_.assign(static_cast<size_t>(num_segments) + 1, 0);
+  // Placements tagged with their stream; flattened into the CSR layout
+  // once every segment has found a progression.
+  std::vector<std::pair<int, Entry>> placed;
+  placed.reserve(static_cast<size_t>(num_segments));
 
   for (Segment s = 1; s <= num_segments; ++s) {
     // Pick the free progression with the largest usable period
@@ -65,8 +68,7 @@ std::optional<NpbMapping> NpbMapping::build(int streams, int num_segments) {
     pool.erase(pool.begin() + best);
     const Slot c = s / leaf.stride;  // split factor; child stride = c*stride
     // Child 0 carries the segment; children 1..c-1 return to the pool.
-    m.per_stream_[static_cast<size_t>(leaf.stream)].push_back(
-        Entry{s, c * leaf.stride, leaf.offset});
+    placed.push_back({leaf.stream, Entry{s, c * leaf.stride, leaf.offset}});
     m.period_[static_cast<size_t>(s)] = c * leaf.stride;
     for (Slot child = 1; child < c; ++child) {
       pool.push_back(
@@ -74,11 +76,23 @@ std::optional<NpbMapping> NpbMapping::build(int streams, int num_segments) {
     }
   }
 
+  // Counting-sort the placements by stream into the CSR arrays; placement
+  // order within a stream is preserved (the stable bucket fill).
+  m.stream_offsets_.assign(static_cast<size_t>(streams) + 1, 0);
+  for (const auto& [k, e] : placed) ++m.stream_offsets_[static_cast<size_t>(k) + 1];
+  for (int k = 0; k < streams; ++k) {
+    m.stream_offsets_[static_cast<size_t>(k) + 1] +=
+        m.stream_offsets_[static_cast<size_t>(k)];
+  }
+  m.entries_.resize(placed.size());
+  std::vector<int> fill(m.stream_offsets_.begin(), m.stream_offsets_.end() - 1);
+  for (const auto& [k, e] : placed) {
+    m.entries_[static_cast<size_t>(fill[static_cast<size_t>(k)]++)] = e;
+  }
+
   m.cycle_len_ = 1;
-  for (const auto& entries : m.per_stream_) {
-    for (const Entry& e : entries) {
-      m.cycle_len_ = saturating_lcm(m.cycle_len_, e.stride);
-    }
+  for (const Entry& e : m.entries_) {
+    m.cycle_len_ = saturating_lcm(m.cycle_len_, e.stride);
   }
   VOD_CHECK(m.validate().ok);
   return m;
@@ -87,8 +101,8 @@ std::optional<NpbMapping> NpbMapping::build(int streams, int num_segments) {
 Segment NpbMapping::segment_at(int stream, Slot slot) const {
   VOD_DCHECK(stream >= 0 && stream < streams_);
   VOD_DCHECK(slot >= 1);
-  for (const Entry& e : per_stream_[static_cast<size_t>(stream)]) {
-    if (stride_hits(slot, e.stride, e.offset)) return e.segment;
+  for (const Entry* e = stream_begin(stream); e != stream_end(stream); ++e) {
+    if (stride_hits(slot, e->stride, e->offset)) return e->segment;
   }
   return 0;
 }
@@ -101,8 +115,11 @@ Slot NpbMapping::period_of(Segment j) const {
 MappingValidation NpbMapping::validate() const {
   MappingValidation v;
   std::vector<int> placed(static_cast<size_t>(n_) + 1, 0);
-  for (const auto& entries : per_stream_) {
-    for (size_t a = 0; a < entries.size(); ++a) {
+  for (int k = 0; k < streams_; ++k) {
+    const Entry* entries = stream_begin(k);
+    const size_t count =
+        static_cast<size_t>(stream_end(k) - stream_begin(k));
+    for (size_t a = 0; a < count; ++a) {
       const Entry& ea = entries[a];
       if (ea.stride > ea.segment) {
         std::ostringstream os;
@@ -120,7 +137,7 @@ MappingValidation NpbMapping::validate() const {
       ++placed[static_cast<size_t>(ea.segment)];
       // Two progressions on the same stream collide iff their offsets are
       // congruent modulo gcd(strides).
-      for (size_t b = a + 1; b < entries.size(); ++b) {
+      for (size_t b = a + 1; b < count; ++b) {
         const Entry& eb = entries[b];
         const Slot g = std::gcd(ea.stride, eb.stride);
         if (congruent_mod(ea.offset, eb.offset, g)) {

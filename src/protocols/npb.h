@@ -68,11 +68,24 @@ class NpbMapping final : public StaticMapping {
 
   NpbMapping() = default;
 
+  // Entries of stream k, in placement order (CSR row view over entries_).
+  const Entry* stream_begin(int k) const {
+    return entries_.data() + stream_offsets_[static_cast<size_t>(k)];
+  }
+  const Entry* stream_end(int k) const {
+    return entries_.data() + stream_offsets_[static_cast<size_t>(k) + 1];
+  }
+
   int streams_ = 0;
   int n_ = 0;
   Slot cycle_len_ = 1;
-  std::vector<std::vector<Entry>> per_stream_;  // entries per stream
-  std::vector<Slot> period_;                    // period_[j] = stride of S_j
+  // Per-stream entries in CSR form (DESIGN.md §14): stream k's entries are
+  // entries_[stream_offsets_[k] .. stream_offsets_[k+1]), flattened once at
+  // the end of build() — the mapping is immutable afterwards, so segment_at
+  // probes one contiguous run instead of chasing a nested vector.
+  std::vector<int> stream_offsets_;  // [streams_ + 1]
+  std::vector<Entry> entries_;       // all placements, grouped by stream
+  std::vector<Slot> period_;         // period_[j] = stride of S_j
 };
 
 }  // namespace vod

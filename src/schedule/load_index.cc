@@ -35,44 +35,56 @@ int LoadIndex::value(size_t pos) const {
   return tree_[leaves_ + pos];
 }
 
-int LoadIndex::min_in(size_t a, size_t b) const {
-  int m = kInfiniteLoad;
-  size_t l = leaves_ + a;
-  size_t r = leaves_ + b + 1;
-  while (l < r) {
-    if ((l & 1) != 0) m = std::min(m, tree_[l++]);
-    if ((r & 1) != 0) m = std::min(m, tree_[--r]);
-    l >>= 1;
-    r >>= 1;
-  }
-  return m;
-}
-
-size_t LoadIndex::rightmost_min(size_t node, size_t node_lo, size_t node_hi,
-                                size_t a, size_t b, int m) const {
-  if (b < node_lo || node_hi < a || tree_[node] > m) return ring_size_;
-  if (node_lo == node_hi) return node_lo;
-  const size_t mid = node_lo + (node_hi - node_lo) / 2;
-  const size_t right = rightmost_min(2 * node + 1, mid + 1, node_hi, a, b, m);
-  if (right != ring_size_) return right;
-  return rightmost_min(2 * node, node_lo, mid, a, b, m);
-}
-
-size_t LoadIndex::leftmost_min(size_t node, size_t node_lo, size_t node_hi,
-                               size_t a, size_t b, int m) const {
-  if (b < node_lo || node_hi < a || tree_[node] > m) return ring_size_;
-  if (node_lo == node_hi) return node_lo;
-  const size_t mid = node_lo + (node_hi - node_lo) / 2;
-  const size_t left = leftmost_min(2 * node, node_lo, mid, a, b, m);
-  if (left != ring_size_) return left;
-  return leftmost_min(2 * node + 1, mid + 1, node_hi, a, b, m);
-}
+// Both argmin queries run the same shape: one iterative pass decomposes
+// [a, b] into its canonical O(log W) cover, recording the visited nodes —
+// left-edge nodes in `ln` (covering ascending position ranges, in
+// collection order) and right-edge nodes in `rn` (descending) — while
+// folding the range minimum. The winning subtree is then the first node
+// holding the minimum when the cover is scanned in position order
+// (descending for min_latest, ascending for min_earliest), and the descent
+// to its extreme minimal leaf is branchless: each level selects the
+// preferred child with a conditional subtract/add (`tree_[child] != m`
+// compiles to setcc/cmov, not a per-level branch — the recursion the
+// original implementation used is gone).
+//
+// A 64-entry node stack covers any ring (the tree height is bounded by the
+// word size).
 
 LoadIndex::MinResult LoadIndex::min_latest(size_t a, size_t b) const {
   VOD_DCHECK(a <= b && b < ring_size_);
   ++queries_;
-  const int m = min_in(a, b);
-  const size_t pos = rightmost_min(1, 0, leaves_ - 1, a, b, m);
+  size_t ln[64];
+  size_t rn[64];
+  size_t lc = 0;
+  size_t rc = 0;
+  int m = kInfiniteLoad;
+  for (size_t l = leaves_ + a, r = leaves_ + b + 1; l < r; l >>= 1, r >>= 1) {
+    if ((l & 1) != 0) {
+      m = std::min(m, tree_[l]);
+      ln[lc++] = l++;
+    }
+    if ((r & 1) != 0) {
+      --r;
+      m = std::min(m, tree_[r]);
+      rn[rc++] = r;
+    }
+  }
+  // rn[0] covers the highest positions, then descending; ln reversed
+  // continues the descent. The first node at the minimum owns the
+  // rightmost minimal leaf.
+  size_t node = 0;
+  for (size_t i = 0; i < rc && node == 0; ++i) {
+    if (tree_[rn[i]] == m) node = rn[i];
+  }
+  for (size_t i = lc; i > 0 && node == 0; --i) {
+    if (tree_[ln[i - 1]] == m) node = ln[i - 1];
+  }
+  VOD_DCHECK(node != 0);
+  while (node < leaves_) {
+    const size_t right = 2 * node + 1;
+    node = right - static_cast<size_t>(tree_[right] != m);
+  }
+  const size_t pos = node - leaves_;
   VOD_DCHECK(pos < ring_size_);
   return MinResult{m, pos};
 }
@@ -80,8 +92,38 @@ LoadIndex::MinResult LoadIndex::min_latest(size_t a, size_t b) const {
 LoadIndex::MinResult LoadIndex::min_earliest(size_t a, size_t b) const {
   VOD_DCHECK(a <= b && b < ring_size_);
   ++queries_;
-  const int m = min_in(a, b);
-  const size_t pos = leftmost_min(1, 0, leaves_ - 1, a, b, m);
+  size_t ln[64];
+  size_t rn[64];
+  size_t lc = 0;
+  size_t rc = 0;
+  int m = kInfiniteLoad;
+  for (size_t l = leaves_ + a, r = leaves_ + b + 1; l < r; l >>= 1, r >>= 1) {
+    if ((l & 1) != 0) {
+      m = std::min(m, tree_[l]);
+      ln[lc++] = l++;
+    }
+    if ((r & 1) != 0) {
+      --r;
+      m = std::min(m, tree_[r]);
+      rn[rc++] = r;
+    }
+  }
+  // ln[0] covers the lowest positions, then ascending; rn reversed
+  // continues upward. The first node at the minimum owns the leftmost
+  // minimal leaf.
+  size_t node = 0;
+  for (size_t i = 0; i < lc && node == 0; ++i) {
+    if (tree_[ln[i]] == m) node = ln[i];
+  }
+  for (size_t i = rc; i > 0 && node == 0; --i) {
+    if (tree_[rn[i - 1]] == m) node = rn[i - 1];
+  }
+  VOD_DCHECK(node != 0);
+  while (node < leaves_) {
+    const size_t left = 2 * node;
+    node = left + static_cast<size_t>(tree_[left] != m);
+  }
+  const size_t pos = node - leaves_;
   VOD_DCHECK(pos < ring_size_);
   return MinResult{m, pos};
 }

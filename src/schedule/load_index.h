@@ -47,7 +47,10 @@ class LoadIndex {
 
   // Minimum value over the contiguous position range [a, b]
   // (a <= b < ring_size), with the argmin tie broken toward the highest
-  // position (min_latest) or the lowest (min_earliest). O(log ring_size).
+  // position (min_latest) or the lowest (min_earliest). O(log ring_size),
+  // fully iterative: one canonical-cover pass finds the minimum and the
+  // winning subtree, then a branchless child-select descent (conditional
+  // subtract, no per-level branches) pins the extreme minimal leaf.
   MinResult min_latest(size_t a, size_t b) const;
   MinResult min_earliest(size_t a, size_t b) const;
 
@@ -58,15 +61,6 @@ class LoadIndex {
   uint64_t total_updates() const { return updates_; }
 
  private:
-  int min_in(size_t a, size_t b) const;
-  // Rightmost / leftmost position in [a, b] whose value equals m, searched
-  // within the subtree `node` covering positions [node_lo, node_hi].
-  // Returns ring_size_ ("none") when the subtree holds no such position.
-  size_t rightmost_min(size_t node, size_t node_lo, size_t node_hi, size_t a,
-                       size_t b, int m) const;
-  size_t leftmost_min(size_t node, size_t node_lo, size_t node_hi, size_t a,
-                      size_t b, int m) const;
-
   size_t ring_size_;
   size_t leaves_;          // smallest power of two >= ring_size_
   std::vector<int> tree_;  // 1-based heap layout; leaf p at leaves_ + p

@@ -1,25 +1,97 @@
 #include "schedule/slot_schedule.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/check.h"
 
 namespace vod {
+namespace {
+
+// Initial slab row strides. Contents rows hold the instances of one slot
+// (about total/window on average — small); per-segment rows hold a
+// segment's future instances (0 or 1 under the §3 sharing invariant).
+// Outgrowing rows re-lay the slab at double stride, so these only set
+// where the doubling starts.
+constexpr size_t kInitialContentsCap = 4;
+constexpr size_t kInitialSegCap = 2;
+
+size_t ring_pow2(int window) {
+  size_t size = 1;
+  while (size < static_cast<size_t>(window) + 1) size <<= 1;
+  return size;
+}
+
+// One arena block sized to the construction-time slabs, so a scheduler
+// that never outgrows its initial strides owns exactly one block.
+size_t initial_arena_bytes(int num_segments, int window) {
+  const size_t ring = ring_pow2(window);
+  const size_t segs = static_cast<size_t>(num_segments) + 1;
+  const size_t bytes = ring * sizeof(int)                            // loads
+                       + ring * kInitialContentsCap * sizeof(Segment)
+                       + ring * sizeof(int)                   // contents_len
+                       + segs * kInitialSegCap * sizeof(Slot)  // seg slab
+                       + segs * sizeof(int)                    // seg_len
+                       + segs * sizeof(Slot)                   // latest
+                       + 64;                                   // align slack
+  return bytes < 1024 ? 1024 : bytes;
+}
+
+}  // namespace
 
 SlotSchedule::SlotSchedule(int num_segments, int window)
     : num_segments_(num_segments),
       window_(window),
-      loads_(static_cast<size_t>(window) + 1, 0),
-      contents_(static_cast<size_t>(window) + 1),
-      per_segment_(static_cast<size_t>(num_segments) + 1),
-      latest_(static_cast<size_t>(num_segments) + 1, 0),
-      index_(static_cast<size_t>(window) + 1) {
+      arena_(initial_arena_bytes(num_segments, window)),
+      ring_size_(ring_pow2(window)),
+      ring_mask_(ring_size_ - 1),
+      contents_cap_(kInitialContentsCap),
+      seg_cap_(kInitialSegCap),
+      index_(ring_size_) {
   VOD_CHECK(num_segments >= 1);
   VOD_CHECK(window >= 1);
+  const size_t segs = static_cast<size_t>(num_segments) + 1;
+  loads_ = arena_.alloc_array<int>(ring_size_);
+  contents_slab_ = arena_.alloc_array<Segment>(ring_size_ * contents_cap_);
+  contents_len_ = arena_.alloc_array<int>(ring_size_);
+  seg_slab_ = arena_.alloc_array<Slot>(segs * seg_cap_);
+  seg_len_ = arena_.alloc_array<int>(segs);
+  latest_ = arena_.alloc_array<Slot>(segs);
+  std::fill_n(loads_, ring_size_, 0);
+  std::fill_n(contents_len_, ring_size_, 0);
+  std::fill_n(seg_len_, segs, 0);
+  std::fill_n(latest_, segs, Slot{0});
 }
 
-size_t SlotSchedule::ring_index(Slot s) const {
-  return static_cast<size_t>(s % static_cast<Slot>(loads_.size()));
+void SlotSchedule::grow_contents() {
+  const size_t new_cap = contents_cap_ * 2;
+  Segment* slab = arena_.alloc_array<Segment>(ring_size_ * new_cap);
+  for (size_t r = 0; r < ring_size_; ++r) {
+    const int len = contents_len_[r];
+    if (len > 0) {
+      std::memcpy(slab + r * new_cap, contents_slab_ + r * contents_cap_,
+                  static_cast<size_t>(len) * sizeof(Segment));
+    }
+  }
+  contents_slab_ = slab;
+  contents_cap_ = new_cap;
+  ++slab_grows_;
+}
+
+void SlotSchedule::grow_segments() {
+  const size_t new_cap = seg_cap_ * 2;
+  const size_t segs = static_cast<size_t>(num_segments_) + 1;
+  Slot* slab = arena_.alloc_array<Slot>(segs * new_cap);
+  for (size_t j = 0; j < segs; ++j) {
+    const int len = seg_len_[j];
+    if (len > 0) {
+      std::memcpy(slab + j * new_cap, seg_slab_ + j * seg_cap_,
+                  static_cast<size_t>(len) * sizeof(Slot));
+    }
+  }
+  seg_slab_ = slab;
+  seg_cap_ = new_cap;
+  ++slab_grows_;
 }
 
 int SlotSchedule::load(Slot s) const {
@@ -35,11 +107,11 @@ std::optional<Slot> SlotSchedule::find_instance(Segment j, Slot lo,
   const Slot latest = latest_[static_cast<size_t>(j)];
   if (latest == 0) return std::nullopt;
   if (lo == now_ + 1 && latest <= hi) return latest;
-  const std::vector<Slot>& slots = per_segment_[static_cast<size_t>(j)];
-  // Latest instance <= hi; lists are short (almost always 0 or 1 entries).
-  for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
-    if (*it <= hi) {
-      if (*it >= lo) return *it;
+  const Slot* row = seg_row(static_cast<size_t>(j));
+  // Latest instance <= hi; rows are short (almost always 0 or 1 entries).
+  for (int i = seg_len_[static_cast<size_t>(j)]; i-- > 0;) {
+    if (row[i] <= hi) {
+      if (row[i] >= lo) return row[i];
       return std::nullopt;
     }
   }
@@ -56,50 +128,66 @@ Slot SlotSchedule::latest_instance(Segment j) const {
   return latest_[static_cast<size_t>(j)];
 }
 
-const std::vector<Slot>& SlotSchedule::instances_of(Segment j) const {
+std::span<const Slot> SlotSchedule::instances_of(Segment j) const {
   VOD_DCHECK(j >= 1 && j <= num_segments_);
-  return per_segment_[static_cast<size_t>(j)];
+  return {seg_row(static_cast<size_t>(j)),
+          static_cast<size_t>(seg_len_[static_cast<size_t>(j)])};
 }
 
-const std::vector<Segment>& SlotSchedule::contents(Slot s) const {
+std::span<const Segment> SlotSchedule::contents(Slot s) const {
   VOD_DCHECK(s > now_ && s <= now_ + window_);
-  return contents_[ring_index(s)];
+  const size_t pos = ring_index(s);
+  return {contents_row(pos), static_cast<size_t>(contents_len_[pos])};
 }
 
 void SlotSchedule::add_instance(Segment j, Slot s) {
   VOD_CHECK(j >= 1 && j <= num_segments_);
   VOD_CHECK_MSG(s > now_ && s <= now_ + window_,
                 "instance outside the scheduling window");
-  const size_t idx = ring_index(s);
-  ++loads_[idx];
+  const size_t pos = ring_index(s);
+  ++loads_[pos];
   ++total_;
   ++instances_added_;
-  index_.add(idx, 1);
-  contents_[idx].push_back(j);
-  std::vector<Slot>& slots = per_segment_[static_cast<size_t>(j)];
-  slots.insert(std::upper_bound(slots.begin(), slots.end(), s), s);
-  latest_[static_cast<size_t>(j)] =
-      std::max(latest_[static_cast<size_t>(j)], s);
+  index_.add(pos, 1);
+
+  if (static_cast<size_t>(contents_len_[pos]) == contents_cap_) {
+    grow_contents();
+  }
+  contents_row(pos)[contents_len_[pos]++] = j;
+
+  const size_t sj = static_cast<size_t>(j);
+  if (static_cast<size_t>(seg_len_[sj]) == seg_cap_) grow_segments();
+  Slot* row = seg_row(sj);
+  int i = seg_len_[sj]++;
+  // Sorted insert from the back; rows are tiny.
+  for (; i > 0 && row[i - 1] > s; --i) row[i] = row[i - 1];
+  row[i] = s;
+  latest_[sj] = std::max(latest_[sj], s);
 }
 
-std::vector<Segment> SlotSchedule::advance() {
+std::span<const Segment> SlotSchedule::advance() {
   VOD_DCHECK(overlay_.empty());  // no advance() with a live load overlay
   ++advances_;
   ++now_;
-  const size_t idx = ring_index(now_);
-  std::vector<Segment> out = std::move(contents_[idx]);
-  contents_[idx].clear();
-  total_ -= loads_[idx];
-  if (loads_[idx] != 0) index_.add(idx, -loads_[idx]);
-  loads_[idx] = 0;
-  for (Segment j : out) {
-    std::vector<Slot>& slots = per_segment_[static_cast<size_t>(j)];
-    auto it = std::find(slots.begin(), slots.end(), now_);
-    VOD_DCHECK(it != slots.end());
-    slots.erase(it);
-    latest_[static_cast<size_t>(j)] = slots.empty() ? 0 : slots.back();
+  const size_t pos = ring_index(now_);
+  Segment* row = contents_row(pos);
+  const int len = contents_len_[pos];
+  contents_len_[pos] = 0;
+  total_ -= loads_[pos];
+  if (loads_[pos] != 0) index_.add(pos, -loads_[pos]);
+  loads_[pos] = 0;
+  for (int i = 0; i < len; ++i) {
+    const size_t sj = static_cast<size_t>(row[i]);
+    // Every live instance is > now_ - 1, so this segment's transmitted
+    // instance sits at the front of its (ascending) row.
+    Slot* seg = seg_row(sj);
+    VOD_DCHECK(seg_len_[sj] > 0 && seg[0] == now_);
+    const int remaining = --seg_len_[sj];
+    std::memmove(seg, seg + 1,
+                 static_cast<size_t>(remaining) * sizeof(Slot));
+    latest_[sj] = remaining == 0 ? 0 : seg[remaining - 1];
   }
-  return out;
+  return {row, static_cast<size_t>(len)};
 }
 
 SlotSchedule::MinLoad SlotSchedule::min_load_latest(Slot lo, Slot hi) const {
@@ -137,6 +225,76 @@ SlotSchedule::MinLoad SlotSchedule::min_load_earliest(Slot lo, Slot hi) const {
     return MinLoad{lo + static_cast<Slot>(early.pos - a), early.load};
   }
   return MinLoad{hi - static_cast<Slot>(b - late.pos), late.load};
+}
+
+void SlotSchedule::scan_desc(size_t p_hi, size_t p_lo, int* best_load,
+                             size_t* best_pos) const {
+  // Positions p_hi down to p_lo, strict '<': an earlier (lower) slot only
+  // displaces the incumbent with a strictly smaller load — the Figure 6
+  // latest-tie rule, continued across ranges.
+  for (size_t p = p_hi + 1; p-- > p_lo;) {
+    const int m = loads_[p];
+    if (m < *best_load) {
+      *best_load = m;
+      *best_pos = p;
+    }
+  }
+}
+
+void SlotSchedule::scan_asc(size_t p_lo, size_t p_hi, int* best_load,
+                            size_t* best_pos) const {
+  // Positions p_lo up to p_hi, strict '<': the earliest-tie rule.
+  for (size_t p = p_lo; p <= p_hi; ++p) {
+    const int m = loads_[p];
+    if (m < *best_load) {
+      *best_load = m;
+      *best_pos = p;
+    }
+  }
+}
+
+SlotSchedule::MinLoad SlotSchedule::scan_min_load_latest(Slot lo,
+                                                         Slot hi) const {
+  VOD_DCHECK(lo > now_ && lo <= hi && hi <= now_ + window_);
+  const size_t a = ring_index(lo);
+  const size_t b = ring_index(hi);
+  int best_load = loads_[b];
+  size_t best_pos = b;
+  if (a <= b) {
+    if (b > a) scan_desc(b - 1, a, &best_load, &best_pos);
+    return MinLoad{lo + static_cast<Slot>(best_pos - a), best_load};
+  }
+  // Wrapped: the "late" range [0, b] holds the highest slots — scan it
+  // first (descending), then the "early" range [a, ring_size).
+  if (b > 0) scan_desc(b - 1, 0, &best_load, &best_pos);
+  scan_desc(ring_size_ - 1, a, &best_load, &best_pos);
+  if (best_pos <= b) {
+    return MinLoad{hi - static_cast<Slot>(b - best_pos), best_load};
+  }
+  return MinLoad{lo + static_cast<Slot>(best_pos - a), best_load};
+}
+
+SlotSchedule::MinLoad SlotSchedule::scan_min_load_earliest(Slot lo,
+                                                           Slot hi) const {
+  VOD_DCHECK(lo > now_ && lo <= hi && hi <= now_ + window_);
+  const size_t a = ring_index(lo);
+  const size_t b = ring_index(hi);
+  int best_load = loads_[a];
+  size_t best_pos = a;
+  if (a <= b) {
+    if (b > a) scan_asc(a + 1, b, &best_load, &best_pos);
+    return MinLoad{lo + static_cast<Slot>(best_pos - a), best_load};
+  }
+  // Wrapped: the "early" range [a, ring_size) holds the lowest slots —
+  // scan it first (ascending), then the "late" range [0, b].
+  if (a + 1 <= ring_size_ - 1) {
+    scan_asc(a + 1, ring_size_ - 1, &best_load, &best_pos);
+  }
+  scan_asc(0, b, &best_load, &best_pos);
+  if (best_pos >= a) {
+    return MinLoad{lo + static_cast<Slot>(best_pos - a), best_load};
+  }
+  return MinLoad{hi - static_cast<Slot>(b - best_pos), best_load};
 }
 
 void SlotSchedule::add_load_overlay(Slot s, int delta) {

@@ -10,6 +10,24 @@
 // least the largest scheduling horizon any caller uses (for DHB that is
 // max_j T[j] <= n).
 //
+// Memory layout (DESIGN.md §14). All state lives in flat
+// structure-of-arrays slabs carved from a private Arena (util/arena.h),
+// not in nested std::vectors:
+//   * the per-slot ring — load counters and slot contents — is sized to a
+//     power of two (>= window + 1), so the slot → ring-position map is a
+//     mask, not a division;
+//   * contents is ONE contiguous Segment slab of ring_size × capacity,
+//     row r at [r * capacity, r * capacity + contents_len[r]);
+//   * the per-segment instance index is one contiguous Slot slab with the
+//     same stride scheme (rows almost always hold 0 or 1 entries — the §3
+//     sharing invariant), plus a flat latest-instance array;
+//   * a slab that outgrows its row capacity is re-laid-out at double the
+//     stride from the arena (the old storage is abandoned — bump arenas
+//     never free — and growth stops once capacities plateau; the
+//     slab-grow meter feeds the steady-state allocation audit).
+// Accessors that used to return vectors return std::spans over the slabs,
+// valid until the next mutating call.
+//
 // Placement fast path. Beyond the per-slot counters, the schedule keeps
 // two derived structures maintained incrementally by add_instance() /
 // advance():
@@ -18,22 +36,28 @@
 //     Figure 6 "min load, ties to the latest slot" rule — in O(log W);
 //   * an O(1) latest-instance cache per segment (latest_instance()), the
 //     common-case answer to the sharing probe without touching the
-//     per-segment slot vectors.
+//     per-segment slot rows.
 // Both are exact: they reproduce the naive window scans bit for bit (the
-// differential fuzzer is the oracle). Callers running transactional or
-// masked placements (bounded admission, the client-stream-cap variant)
-// can superimpose transient per-slot deltas on the index only via
-// add_load_overlay(); the overlay never touches the real loads and must
-// be cleared before the clock advances.
+// differential fuzzer is the oracle). The naive scans themselves are
+// served by scan_min_load_latest() / scan_min_load_earliest(): the same
+// Figure 6 linear scans, but batched over the contiguous load ring — a
+// window decomposes into at most two raw ranges, probed without a
+// per-slot modulo. Callers running transactional or masked placements
+// (bounded admission, the client-stream-cap variant) can superimpose
+// transient per-slot deltas on the index only via add_load_overlay(); the
+// overlay never touches the real loads and must be cleared before the
+// clock advances.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "schedule/load_index.h"
 #include "schedule/types.h"
+#include "util/arena.h"
 
 namespace vod {
 
@@ -41,6 +65,11 @@ class SlotSchedule {
  public:
   // num_segments: segments are 1..num_segments. window: look-ahead depth.
   SlotSchedule(int num_segments, int window);
+
+  // Slabs point into the member arena: moving is fine (blocks are stable),
+  // copying would alias them.
+  SlotSchedule(SlotSchedule&&) = default;
+  SlotSchedule& operator=(SlotSchedule&&) = default;
 
   Slot now() const { return now_; }
   int window() const { return window_; }
@@ -64,21 +93,24 @@ class SlotSchedule {
 
   // All scheduled future slots of segment j, ascending. Under uncapped DHB
   // this has at most one element (the paper's sharing invariant); the
-  // client-bandwidth-capped variant may create more.
-  const std::vector<Slot>& instances_of(Segment j) const;
+  // client-bandwidth-capped variant may create more. The span views the
+  // per-segment slab: valid until the next mutating call.
+  std::span<const Slot> instances_of(Segment j) const;
 
   // The segment instances scheduled in slot s (insertion order); s must lie
   // in (now, now+window]. Lets auditors cross-check the per-slot ring
-  // against the per-segment index without advancing the clock.
-  const std::vector<Segment>& contents(Slot s) const;
+  // against the per-segment index without advancing the clock. Slab view:
+  // valid until the next mutating call.
+  std::span<const Segment> contents(Slot s) const;
 
   // Schedules one instance of segment j in slot s (now < s <= now+window).
   void add_instance(Segment j, Slot s);
 
   // Advances the clock by one slot and returns the segments transmitted
   // during the new current slot (its content is final: no request arriving
-  // from now on may schedule into it). Requires an empty overlay.
-  std::vector<Segment> advance();
+  // from now on may schedule into it). Requires an empty overlay. The span
+  // views the vacated ring row: valid until the next mutating call.
+  std::span<const Segment> advance();
 
   // Total instances currently scheduled in the window.
   int total_scheduled() const { return total_; }
@@ -95,6 +127,19 @@ class SlotSchedule {
   // Figure 6. Requires now < lo <= hi <= now + window.
   MinLoad min_load_latest(Slot lo, Slot hi) const;
   MinLoad min_load_earliest(Slot lo, Slot hi) const;
+
+  // --- Batched window probes (O(width), naive reference path) ----------
+
+  // The literal Figure 6 scans over the RAW load counters (no overlay, no
+  // index), answered by probing the contiguous load ring directly: the
+  // window maps to at most two raw ranges, so the scan runs without a
+  // per-slot modulo or bounds re-check. Decision-identical to
+  // min_load_latest / min_load_earliest without an overlay — the naive
+  // reference path the differential fuzzer cross-checks, and the
+  // placement path of videos below the index cutover
+  // (DhbConfig::placement_index_cutover).
+  MinLoad scan_min_load_latest(Slot lo, Slot hi) const;
+  MinLoad scan_min_load_earliest(Slot lo, Slot hi) const;
 
   // Adds a transient per-slot delta to the placement index only: the real
   // load counters, ring, and per-segment index are untouched. Used for the
@@ -115,27 +160,70 @@ class SlotSchedule {
   uint64_t total_overlay_ops() const { return overlay_ops_; }
   uint64_t total_index_queries() const { return index_.total_queries(); }
   uint64_t total_index_updates() const { return index_.total_updates(); }
+  // Slab re-layouts (row capacity doublings) since construction, and the
+  // arena's system-block count: both must be flat across a steady-state
+  // slot (tests/alloc_audit_test.cc).
+  uint64_t total_slab_grows() const { return slab_grows_; }
+  uint64_t total_arena_blocks() const {
+    return arena_.total_block_allocations();
+  }
+  uint64_t total_arena_bytes() const { return arena_.total_bytes_requested(); }
 
  private:
   // Test-only backdoor (tests/schedule_auditor_test.cc) used to inject
   // corruptions and prove the ScheduleAuditor non-vacuous.
   friend struct SlotScheduleTestPeer;
 
-  size_t ring_index(Slot s) const;
+  size_t ring_index(Slot s) const {
+    return static_cast<size_t>(s) & ring_mask_;
+  }
+
+  Segment* contents_row(size_t pos) {
+    return contents_slab_ + pos * contents_cap_;
+  }
+  const Segment* contents_row(size_t pos) const {
+    return contents_slab_ + pos * contents_cap_;
+  }
+  Slot* seg_row(size_t j) { return seg_slab_ + j * seg_cap_; }
+  const Slot* seg_row(size_t j) const { return seg_slab_ + j * seg_cap_; }
+
+  // Doubles the row stride of the respective slab and re-lays it out in
+  // fresh arena storage (the old slab is abandoned; see the layout note).
+  void grow_contents();
+  void grow_segments();
+
+  // Raw-ring scan over positions [p_hi .. p_lo] descending / ascending,
+  // continuing from (best_load, best_pos). Helpers for the batched probes.
+  void scan_desc(size_t p_hi, size_t p_lo, int* best_load,
+                 size_t* best_pos) const;
+  void scan_asc(size_t p_lo, size_t p_hi, int* best_load,
+                size_t* best_pos) const;
 
   int num_segments_;
   int window_;
   Slot now_ = 0;
   int total_ = 0;
-  std::vector<int> loads_;                      // ring, indexed by slot % size
-  std::vector<std::vector<Segment>> contents_;  // ring of per-slot segment lists
-  std::vector<std::vector<Slot>> per_segment_;  // [segment] -> future slots asc
-  std::vector<Slot> latest_;                    // [segment] -> latest slot, 0 none
-  LoadIndex index_;                             // range-min over loads_ + overlay
+
+  Arena arena_;        // backs every slab below
+  size_t ring_size_;   // power of two >= window + 1
+  size_t ring_mask_;   // ring_size_ - 1
+
+  int* loads_ = nullptr;              // [ring_size_] instances per slot
+  Segment* contents_slab_ = nullptr;  // [ring_size_ * contents_cap_]
+  int* contents_len_ = nullptr;       // [ring_size_] row fill
+  size_t contents_cap_;               // contents row stride
+
+  Slot* seg_slab_ = nullptr;  // [(num_segments_+1) * seg_cap_], rows asc
+  int* seg_len_ = nullptr;    // [num_segments_+1] row fill
+  size_t seg_cap_;            // per-segment row stride
+  Slot* latest_ = nullptr;    // [num_segments_+1] latest slot, 0 none
+
+  LoadIndex index_;  // range-min over loads_ + overlay
   std::vector<std::pair<size_t, int>> overlay_;  // applied (pos, delta) pairs
   uint64_t instances_added_ = 0;                 // lifetime op meters
   uint64_t advances_ = 0;
   uint64_t overlay_ops_ = 0;
+  uint64_t slab_grows_ = 0;
 };
 
 }  // namespace vod

@@ -1,31 +1,49 @@
 #include "schedule/stream_pool.h"
 
-#include <algorithm>
 #include <sstream>
 
 #include "util/check.h"
 
 namespace vod {
 
+void StreamPool::grow() {
+  const size_t new_cap = cap_ * 2;
+  std::vector<Cell> fresh(len_.size() * new_cap);
+  for (size_t k = 0; k < len_.size(); ++k) {
+    const Cell* src = row(k);
+    Cell* dst = fresh.data() + k * new_cap;
+    for (int i = 0; i < len_[k]; ++i) dst[static_cast<size_t>(i)] = src[i];
+  }
+  cells_ = std::move(fresh);
+  cap_ = new_cap;
+}
+
 int StreamPool::assign(Segment j, Slot s) {
   VOD_CHECK(j >= 1);
-  for (size_t k = 0; k < streams_.size(); ++k) {
-    const auto& cells = streams_[k];
-    const bool busy = std::any_of(cells.begin(), cells.end(),
-                                  [s](const Cell& c) { return c.slot == s; });
+  for (size_t k = 0; k < len_.size(); ++k) {
+    const Cell* cells = row(k);
+    const int len = len_[k];
+    bool busy = false;
+    for (int i = 0; i < len; ++i) busy |= cells[i].slot == s;
     if (!busy) {
-      streams_[k].push_back(Cell{s, j});
+      if (static_cast<size_t>(len) == cap_) grow();
+      row(k)[static_cast<size_t>(len)] = Cell{s, j};
+      ++len_[k];
       return static_cast<int>(k);
     }
   }
-  streams_.push_back({Cell{s, j}});
-  return static_cast<int>(streams_.size()) - 1;
+  len_.push_back(1);
+  cells_.resize(len_.size() * cap_);
+  row(len_.size() - 1)[0] = Cell{s, j};
+  return static_cast<int>(len_.size()) - 1;
 }
 
 Segment StreamPool::at(int stream, Slot slot) const {
   if (stream < 0 || stream >= streams_used()) return 0;
-  for (const Cell& c : streams_[static_cast<size_t>(stream)]) {
-    if (c.slot == slot) return c.segment;
+  const Cell* cells = row(static_cast<size_t>(stream));
+  const int len = len_[static_cast<size_t>(stream)];
+  for (int i = 0; i < len; ++i) {
+    if (cells[i].slot == slot) return cells[i].segment;
   }
   return 0;
 }

@@ -6,6 +6,11 @@
 // layout of the paper's Figures 4 and 5 (the first request's six segments
 // land on the 1st stream; the second request's S1/S2 land on the 2nd).
 // It also renders the assignment as a printable grid for the examples.
+//
+// Storage follows the repo's flat-slab convention (DESIGN.md §14): one
+// contiguous Cell slab with a fixed per-stream stride, stream k's cells at
+// [k * cap_, k * cap_ + len_[k]). A stream that outgrows the stride
+// triggers a whole-slab re-layout at double the stride.
 #pragma once
 
 #include <string>
@@ -23,7 +28,7 @@ class StreamPool {
   int assign(Segment j, Slot s);
 
   // Number of streams the assignment used so far.
-  int streams_used() const { return static_cast<int>(streams_.size()); }
+  int streams_used() const { return static_cast<int>(len_.size()); }
 
   // Segment on `stream` during `slot` (0 = idle).
   Segment at(int stream, Slot slot) const;
@@ -37,8 +42,16 @@ class StreamPool {
     Slot slot;
     Segment segment;
   };
-  // streams_[k] = cells occupied on stream k, in assignment order.
-  std::vector<std::vector<Cell>> streams_;
+
+  Cell* row(size_t k) { return cells_.data() + k * cap_; }
+  const Cell* row(size_t k) const { return cells_.data() + k * cap_; }
+
+  // Doubles the per-stream stride and re-lays the slab out.
+  void grow();
+
+  std::vector<Cell> cells_;  // [len_.size() * cap_] flat cell slab
+  std::vector<int> len_;     // per-stream row fill
+  size_t cap_ = 4;           // per-stream row stride
 };
 
 }  // namespace vod

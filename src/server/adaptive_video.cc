@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 
 #include "obs/trace.h"
 #include "protocols/static_mapping.h"
@@ -173,7 +174,7 @@ int AdaptiveVideo::advance_slot() {
   int streams = 0;
   if (scheduler_) {
     if (scheduler_->schedule().total_scheduled() > 0) {
-      const std::vector<Segment> sent = scheduler_->advance_slot();
+      const std::span<const Segment> sent = scheduler_->advance_slot_view();
       streams += static_cast<int>(sent.size());
       if (want_list) {
         transmitted_scratch_.insert(transmitted_scratch_.end(), sent.begin(),

@@ -158,7 +158,7 @@ void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
         streams = 0;
         ++idle_slots;
       } else {
-        streams = static_cast<int>(scheduler->advance_slot().size());
+        streams = static_cast<int>(scheduler->advance_slot_view().size());
       }
 
       if (step > plan.warmup_slots) {
@@ -180,6 +180,8 @@ void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
       // Drain this slot's Poisson arrivals first, then admit them as one
       // batch: every same-slot request gets the identical plan (the
       // scheduler's coalescing memo), so the k-1 followers cost O(1) each.
+      // The engine never reads the plan, so the discarding entry point
+      // skips the per-batch plan copy entirely (counters identical).
       // The arrival draws and the admissions use independent rng streams,
       // so reordering draw-vs-admit changes nothing.
       const double slot_end = static_cast<double>(step) * d;
@@ -192,7 +194,7 @@ void simulate_shard(const CatalogPlan& plan, const ZipfDistribution& zipf,
       // EWMA needs the silence as much as the bursts.
       if (adaptive) adaptive->on_slot_arrivals(batch);
       if (batch > 0) {
-        if (scheduler) scheduler->on_request_batch(batch);
+        if (scheduler) scheduler->on_request_batch_discard(batch);
         if (step > plan.warmup_slots) out->video_requests[local] += batch;
         if (h_batch != nullptr) {
           h_batch->observe(static_cast<double>(batch));

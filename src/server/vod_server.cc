@@ -1,6 +1,7 @@
 #include "server/vod_server.h"
 
 #include <algorithm>
+#include <span>
 
 #include "schedule/client_plan.h"
 #include "util/check.h"
@@ -11,7 +12,7 @@ VodServer::VodServer(const DhbConfig& config) : scheduler_(config) {}
 
 std::vector<ServerTransmission> VodServer::advance_slot() {
   VOD_DCHECK_SERIAL(serial_);
-  const std::vector<Segment> segments = scheduler_.advance_slot();
+  const std::span<const Segment> segments = scheduler_.advance_slot_view();
 
   // Channel assignment is per slot: instances occupy a channel for exactly
   // one slot, so the lowest channels are handed out in scheduling order.

@@ -1,0 +1,154 @@
+// Bump (arena) allocation for the slot kernel's flat slabs and scratch.
+//
+// The data-oriented schedule layer (DESIGN.md §14) keeps its state in flat
+// structure-of-arrays slabs — contiguous typed arrays carved out of an
+// Arena — instead of nested std::vectors. An Arena hands out raw storage by
+// bumping a pointer through a chain of malloc'd blocks: allocation is a few
+// arithmetic instructions, freeing is wholesale (rewind() / reset()), and
+// blocks are retained across resets so a warmed-up arena never touches the
+// system allocator again. That last property is what the steady-state
+// allocation audit (tests/alloc_audit_test.cc) pins down: after warmup, a
+// scheduler slot must complete with zero arena block allocations — and zero
+// global operator new calls.
+//
+// Two usage patterns in this codebase:
+//   * slab backing (SlotSchedule): long-lived arrays allocated at
+//     construction; a slab that outgrows its capacity allocates a doubled
+//     replacement from the arena and abandons the old storage (bump arenas
+//     never free — the waste is bounded by the doubling, and growth stops
+//     once capacities plateau);
+//   * per-scheduler scratch (DhbScheduler): transient per-admission arrays
+//     allocated under a mark()/rewind() pair and wholesale-reset each slot,
+//     so steady-state admissions recycle the same warm blocks.
+//
+// Not thread-safe: one arena belongs to one scheduler, under the same
+// single-writer discipline as everything else in the kernel (DESIGN.md §11).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace vod {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = size_t{1} << 16;  // 64 KiB
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {
+    VOD_CHECK(block_bytes >= 64);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  // Raw storage, aligned to `alignment` (a power of two). Never returns
+  // nullptr; a request larger than the block size gets a dedicated block.
+  void* allocate(size_t bytes, size_t alignment) {
+    VOD_DCHECK(alignment != 0 && (alignment & (alignment - 1)) == 0);
+    ++allocations_;
+    bytes_requested_ += bytes;
+    for (;;) {
+      if (active_ < blocks_.size()) {
+        Block& block = blocks_[active_];
+        const uintptr_t base = reinterpret_cast<uintptr_t>(block.data.get());
+        const uintptr_t aligned =
+            (base + block.used + alignment - 1) & ~uintptr_t{alignment - 1};
+        const size_t offset = static_cast<size_t>(aligned - base);
+        if (offset + bytes <= block.size) {
+          block.used = offset + bytes;
+          return block.data.get() + offset;
+        }
+        // Retained block too full: advance to the next one (reset() keeps
+        // the chain around precisely so this path re-walks warm storage).
+        ++active_;
+        continue;
+      }
+      new_block(bytes + alignment);
+    }
+  }
+
+  // A typed slab of `count` elements. Uninitialized — callers fill it.
+  // Trivial element types only: nothing here runs destructors.
+  template <typename T>
+  T* alloc_array(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    static_assert(std::is_trivially_copyable_v<T>);
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  // --- Wholesale deallocation ------------------------------------------
+
+  struct Mark {
+    size_t block = 0;
+    size_t used = 0;
+  };
+
+  // Snapshot of the bump position; rewind(mark()) frees everything
+  // allocated in between without touching the system allocator.
+  Mark mark() const {
+    if (active_ >= blocks_.size()) return Mark{active_, 0};
+    return Mark{active_, blocks_[active_].used};
+  }
+
+  void rewind(Mark m) {
+    VOD_DCHECK(m.block <= blocks_.size());
+    for (size_t i = m.block; i < blocks_.size(); ++i) blocks_[i].used = 0;
+    if (m.block < blocks_.size()) blocks_[m.block].used = m.used;
+    active_ = m.block;
+  }
+
+  // Frees every allocation but keeps the blocks: the per-slot scratch
+  // reset. A warm arena reset-and-refilled each slot performs zero system
+  // allocations.
+  void reset() { rewind(Mark{0, 0}); }
+
+  // --- Accounting (the allocation audit reads these) -------------------
+
+  // allocate() calls over the arena's lifetime.
+  uint64_t total_allocations() const { return allocations_; }
+  // Bytes requested (not counting alignment padding or block slack).
+  uint64_t total_bytes_requested() const { return bytes_requested_; }
+  // System (malloc) block acquisitions — the number that must stop
+  // growing once the steady state is reached.
+  uint64_t total_block_allocations() const { return block_allocations_; }
+  // Storage currently owned, in bytes, across all retained blocks.
+  size_t capacity_bytes() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  void new_block(size_t min_bytes) {
+    const size_t size = min_bytes > block_bytes_ ? min_bytes : block_bytes_;
+    Block block;
+    block.data = std::make_unique<std::byte[]>(size);
+    block.size = size;
+    blocks_.push_back(std::move(block));
+    ++block_allocations_;
+    active_ = blocks_.size() - 1;
+  }
+
+  std::vector<Block> blocks_;
+  size_t active_ = 0;  // index of the block being bumped
+  size_t block_bytes_;
+  uint64_t allocations_ = 0;
+  uint64_t bytes_requested_ = 0;
+  uint64_t block_allocations_ = 0;
+};
+
+}  // namespace vod

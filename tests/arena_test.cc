@@ -1,0 +1,99 @@
+// Unit tests for the bump allocator behind the slot-kernel slabs
+// (util/arena.h): alignment, block chaining, mark/rewind/reset semantics,
+// and the block-retention property the steady-state allocation audit
+// (alloc_audit_test.cc) relies on.
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace vod {
+namespace {
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena a(256);
+  char* x = static_cast<char*>(a.allocate(10, 1));
+  double* d = a.alloc_array<double>(3);
+  char* y = static_cast<char*>(a.allocate(10, 1));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(d) % alignof(double), 0u);
+  // Writes through one allocation must not leak into another.
+  std::memset(x, 0xAB, 10);
+  for (int i = 0; i < 3; ++i) d[i] = 1.5 * i;
+  std::memset(y, 0xCD, 10);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(d[i], 1.5 * i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(x[i], '\xAB');
+}
+
+TEST(Arena, CountsAllocationsAndBytes) {
+  Arena a(1024);
+  EXPECT_EQ(a.total_allocations(), 0u);
+  a.allocate(100, 8);
+  a.allocate(28, 4);
+  EXPECT_EQ(a.total_allocations(), 2u);
+  EXPECT_EQ(a.total_bytes_requested(), 128u);
+}
+
+TEST(Arena, GrowsByChainingBlocks) {
+  Arena a(64);
+  EXPECT_EQ(a.total_block_allocations(), 0u);  // first block is lazy
+  a.allocate(48, 8);
+  const uint64_t after_first = a.total_block_allocations();
+  EXPECT_GE(after_first, 1u);
+  // Does not fit in the remainder of a 64-byte block: a new block chains.
+  a.allocate(48, 8);
+  EXPECT_GT(a.total_block_allocations(), after_first);
+  EXPECT_GE(a.capacity_bytes(), 96u);
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnBlock) {
+  Arena a(64);
+  int* big = a.alloc_array<int>(1000);  // 4000 bytes >> block size
+  for (int i = 0; i < 1000; ++i) big[i] = i;
+  EXPECT_EQ(big[999], 999);
+}
+
+TEST(Arena, RewindReusesStorageWithoutNewBlocks) {
+  Arena a(256);
+  const Arena::Mark mark = a.mark();
+  void* first = a.allocate(64, 8);
+  const uint64_t blocks = a.total_block_allocations();
+  a.rewind(mark);
+  void* again = a.allocate(64, 8);
+  EXPECT_EQ(first, again);  // bump pointer went back
+  EXPECT_EQ(a.total_block_allocations(), blocks);  // no new system memory
+}
+
+TEST(Arena, ResetRetainsBlocks) {
+  Arena a(128);
+  // Force several chained blocks, then reset: the arena must be able to
+  // replay the same allocation pattern without touching the system
+  // allocator again — the property that makes a warm scheduler slot
+  // allocation-free.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) a.allocate(48, 8);
+    const uint64_t blocks = a.total_block_allocations();
+    a.reset();
+    if (round > 0) {
+      for (int i = 0; i < 8; ++i) a.allocate(48, 8);
+      EXPECT_EQ(a.total_block_allocations(), blocks) << "round " << round;
+      a.reset();
+    }
+  }
+}
+
+TEST(Arena, MarkRewindAcrossBlockBoundary) {
+  Arena a(64);
+  a.allocate(40, 8);
+  const Arena::Mark mark = a.mark();
+  for (int i = 0; i < 5; ++i) a.allocate(40, 8);  // spills into later blocks
+  a.rewind(mark);
+  // The pre-mark allocation's block is active again; post-mark blocks are
+  // retained but empty.
+  void* p = a.allocate(8, 8);
+  EXPECT_NE(p, nullptr);
+}
+
+}  // namespace
+}  // namespace vod

@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "analysis/schedule_auditor.h"
@@ -307,6 +308,37 @@ void run_mode_diff(const FuzzConfig& fc, uint64_t* checked) {
   DhbScheduler fast(fast_config);
   DhbScheduler naive(naive_config);
   Rng rng(fc.seed);
+  // Separate stream for the slab probes so they don't perturb the
+  // operation trace both schedulers consume.
+  Rng probe_rng(fc.seed * 31 + 11);
+
+  // Slab-layout probe: with no overlay live, the batched raw-ring scans
+  // must reproduce the indexed range-min bit for bit on both schedulers —
+  // the O(width) naive reference path and the O(log W) index are two
+  // readers of the same flat slabs.
+  const auto probe_slabs = [&](const DhbScheduler& d) {
+    const SlotSchedule& sched = d.schedule();
+    const Slot base = sched.now();
+    const auto w = static_cast<uint64_t>(sched.window());
+    for (int probe = 0; probe < 3; ++probe) {
+      const Slot lo = base + 1 + static_cast<Slot>(probe_rng.uniform_index(w));
+      const Slot hi = lo + static_cast<Slot>(probe_rng.uniform_index(
+                               static_cast<uint64_t>(base + sched.window() -
+                                                     lo + 1)));
+      const SlotSchedule::MinLoad want_l = sched.min_load_latest(lo, hi);
+      const SlotSchedule::MinLoad got_l = sched.scan_min_load_latest(lo, hi);
+      ASSERT_EQ(got_l.slot, want_l.slot)
+          << "scan/index divergence (latest) at slot " << base << " ["
+          << lo << "," << hi << "] seed " << fc.seed;
+      ASSERT_EQ(got_l.load, want_l.load);
+      const SlotSchedule::MinLoad want_e = sched.min_load_earliest(lo, hi);
+      const SlotSchedule::MinLoad got_e = sched.scan_min_load_earliest(lo, hi);
+      ASSERT_EQ(got_e.slot, want_e.slot)
+          << "scan/index divergence (earliest) at slot " << base << " ["
+          << lo << "," << hi << "] seed " << fc.seed;
+      ASSERT_EQ(got_e.load, want_e.load);
+    }
+  };
 
   const auto compare_results = [&](const DhbRequestResult& a,
                                    const DhbRequestResult& b) {
@@ -331,10 +363,17 @@ void run_mode_diff(const FuzzConfig& fc, uint64_t* checked) {
   };
 
   for (int slot = 0; slot < fc.slots && !testing::Test::HasFailure(); ++slot) {
-    ASSERT_EQ(fast.advance_slot(), naive.advance_slot())
+    // The fast side goes through the zero-copy span view (the engine's
+    // entry point), the naive side through the owning-vector API: the two
+    // advance entry points must expose the identical transmission list.
+    const std::span<const Segment> fast_sent = fast.advance_slot_view();
+    const std::vector<Segment> fast_copy(fast_sent.begin(), fast_sent.end());
+    ASSERT_EQ(fast_copy, naive.advance_slot())
         << "transmission divergence entering slot " << fast.current_slot()
         << " (heuristic " << to_string(fc.heuristic) << ", seed " << fc.seed
         << ")";
+    probe_slabs(fast);
+    probe_slabs(naive);
 
     uint64_t pending = rng.poisson(fc.arrivals_per_slot);
     while (pending > 0 && !testing::Test::HasFailure()) {

@@ -4,6 +4,7 @@
 // against the literal linear scans.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "schedule/load_index.h"
@@ -155,7 +156,7 @@ TEST(SlotScheduleMinLoad, AdvanceEvictsLoadsAndLatestCache) {
   EXPECT_EQ(s.latest_instance(7), 5);
   EXPECT_EQ(s.min_load_earliest(1, 6).slot, 1);
 
-  std::vector<Segment> sent = s.advance();  // slot 1: nothing
+  std::span<const Segment> sent = s.advance();  // slot 1: nothing
   EXPECT_TRUE(sent.empty());
   sent = s.advance();  // slot 2: segment 7 transmits
   ASSERT_EQ(sent.size(), 1u);

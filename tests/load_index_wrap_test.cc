@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -84,13 +85,19 @@ SlotSchedule::MinLoad naive_window_min(
 }
 
 TEST(SlotScheduleWrap, SeamSweepEveryWindowEveryOffset) {
-  // Windows 1..9 (ring sizes 2..10). For every window, park the seam at
-  // every ring offset by advancing 0..2*ring slots, lay down random
-  // instances, then check every admissible (lo, hi) window — with and
-  // without overlay deltas — against the naive scan. This is the full
-  // cross product of (ring size) x (seam position) x (query window).
+  // Windows 1..9. The slab layout rounds the ring up to a power of two
+  // (2, 4, 8, 16 here — window 9 crosses into a 16-ring, exercising the
+  // mask with real padding positions), so the sweep advances 0..2*ring of
+  // the ACTUAL ring size to park the wrap seam at every offset. Then lay
+  // down random instances and check every admissible (lo, hi) window —
+  // with and without overlay deltas — against the naive scan: the full
+  // cross product of (ring size) x (seam position) x (query window). The
+  // batched raw-ring probes (scan_min_load_latest / _earliest) are checked
+  // in the same sweep against the overlay-free naive scan, which they must
+  // reproduce regardless of any live overlay.
   for (int window = 1; window <= 9; ++window) {
-    const int ring = window + 1;
+    int ring = 1;
+    while (ring < window + 1) ring *= 2;
     for (int advances = 0; advances <= 2 * ring; ++advances) {
       Rng rng(77 * window + advances);
       SlotSchedule s(/*num_segments=*/window, window);
@@ -136,6 +143,24 @@ TEST(SlotScheduleWrap, SeamSweepEveryWindowEveryOffset) {
             ASSERT_EQ(got_l.load, want_l.load);
             ASSERT_EQ(got_e.slot, want_e.slot);
             ASSERT_EQ(got_e.load, want_e.load);
+
+            // The batched probes scan the RAW load counters: identical to
+            // the naive scan with no overlay, overlay or not.
+            const std::map<Slot, int> no_overlay;
+            const SlotSchedule::MinLoad want_raw_l =
+                naive_window_min(s, no_overlay, lo, hi, true);
+            const SlotSchedule::MinLoad want_raw_e =
+                naive_window_min(s, no_overlay, lo, hi, false);
+            const SlotSchedule::MinLoad scan_l =
+                s.scan_min_load_latest(lo, hi);
+            const SlotSchedule::MinLoad scan_e =
+                s.scan_min_load_earliest(lo, hi);
+            ASSERT_EQ(scan_l.slot, want_raw_l.slot)
+                << "raw scan, window " << window << " advances " << advances
+                << " [" << lo << "," << hi << "]";
+            ASSERT_EQ(scan_l.load, want_raw_l.load);
+            ASSERT_EQ(scan_e.slot, want_raw_e.slot);
+            ASSERT_EQ(scan_e.load, want_raw_e.load);
           }
         }
         if (with_overlay) s.clear_load_overlay();
@@ -148,10 +173,12 @@ TEST(SlotScheduleWrap, SeamTieAlwaysPrefersLateRange) {
   // Directed: all-equal loads across the seam for every window size. The
   // "latest" winner must be the numerically largest slot (late range,
   // small ring positions); "earliest" the smallest (pre-seam, large ring
-  // positions). This is the exact composition rule that broke once.
+  // positions). This is the exact composition rule that broke once. Both
+  // the indexed range-min and the batched raw-ring scan must honor it.
   for (int window = 2; window <= 9; ++window) {
     SlotSchedule s(window, window);
-    const int ring = window + 1;
+    int ring = 1;
+    while (ring < window + 1) ring *= 2;
     // Advance to now = ring - 2: the window's first slot lands on the last
     // ring position and everything after it wraps to positions 0.. — the
     // seam sits right after lo, so latest-vs-earliest must cross it.
@@ -163,6 +190,48 @@ TEST(SlotScheduleWrap, SeamTieAlwaysPrefersLateRange) {
     const Slot hi = s.now() + window;
     EXPECT_EQ(s.min_load_latest(lo, hi).slot, hi) << "window " << window;
     EXPECT_EQ(s.min_load_earliest(lo, hi).slot, lo) << "window " << window;
+    EXPECT_EQ(s.scan_min_load_latest(lo, hi).slot, hi) << "window " << window;
+    EXPECT_EQ(s.scan_min_load_earliest(lo, hi).slot, lo)
+        << "window " << window;
+  }
+}
+
+TEST(SlotScheduleWrap, SlabRowsSurviveGrowthAcrossTheSeam) {
+  // Slab invariant (DESIGN.md §14): a row-capacity re-layout while the
+  // window straddles the wrap seam must preserve every ring row and every
+  // per-segment row bit for bit. Overfill one wrapped slot far past the
+  // initial row capacities and diff the views against a shadow model.
+  SlotSchedule s(/*num_segments=*/24, /*window=*/9);  // ring 16
+  for (int i = 0; i < 14; ++i) s.advance();  // seam inside (now, now+9]
+  const Slot wrapped = s.now() + 6;          // maps past the seam
+  const Slot pre_seam = s.now() + 1;
+  std::vector<Segment> want_wrapped, want_pre;
+  for (Segment j = 1; j <= 20; ++j) {
+    s.add_instance(j, wrapped);
+    want_wrapped.push_back(j);
+    if (j <= 3) {
+      s.add_instance(static_cast<Segment>(20 + j), pre_seam);
+      want_pre.push_back(static_cast<Segment>(20 + j));
+    }
+  }
+  EXPECT_GT(s.total_slab_grows(), 0u) << "test must actually force growth";
+  const std::span<const Segment> got_wrapped = s.contents(wrapped);
+  ASSERT_EQ(got_wrapped.size(), want_wrapped.size());
+  for (size_t i = 0; i < want_wrapped.size(); ++i) {
+    EXPECT_EQ(got_wrapped[i], want_wrapped[i]) << "wrapped row index " << i;
+  }
+  const std::span<const Segment> got_pre = s.contents(pre_seam);
+  ASSERT_EQ(got_pre.size(), want_pre.size());
+  for (size_t i = 0; i < want_pre.size(); ++i) {
+    EXPECT_EQ(got_pre[i], want_pre[i]) << "pre-seam row index " << i;
+  }
+  EXPECT_EQ(s.load(wrapped), 20);
+  EXPECT_EQ(s.min_load_latest(wrapped, wrapped).load, 20);
+  // Per-segment rows and the latest cache survived the re-layouts too.
+  for (Segment j = 1; j <= 20; ++j) {
+    ASSERT_EQ(s.instances_of(j).size(), 1u);
+    EXPECT_EQ(s.instances_of(j)[0], wrapped);
+    EXPECT_EQ(s.latest_instance(j), wrapped);
   }
 }
 

@@ -20,17 +20,23 @@ struct SlotScheduleTestPeer {
     s.loads_[s.ring_index(slot)] += delta;
     s.total_ += delta;
   }
-  // Plants a slot in the per-segment index without scheduling anything.
+  // Plants a slot in the per-segment slab row without scheduling anything.
   static void inject_index_entry(SlotSchedule& s, Segment j, Slot slot) {
-    s.per_segment_[static_cast<size_t>(j)].push_back(slot);
+    const size_t row = static_cast<size_t>(j);
+    if (static_cast<size_t>(s.seg_len_[row]) == s.seg_cap_) s.grow_segments();
+    s.seg_row(row)[s.seg_len_[row]++] = slot;
   }
   // Plants a segment in the content ring without indexing it.
   static void inject_ring_entry(SlotSchedule& s, Segment j, Slot slot) {
-    s.contents_[s.ring_index(slot)].push_back(j);
+    const size_t pos = s.ring_index(slot);
+    if (static_cast<size_t>(s.contents_len_[pos]) == s.contents_cap_) {
+      s.grow_contents();
+    }
+    s.contents_row(pos)[s.contents_len_[pos]++] = j;
   }
   // Drops the newest indexed instance of segment j (index only).
   static void drop_index_entry(SlotSchedule& s, Segment j) {
-    s.per_segment_[static_cast<size_t>(j)].pop_back();
+    --s.seg_len_[static_cast<size_t>(j)];
   }
 };
 

@@ -1,5 +1,7 @@
 #include "schedule/slot_schedule.h"
 
+#include <span>
+
 #include <gtest/gtest.h>
 
 namespace vod {
@@ -46,13 +48,13 @@ TEST(SlotSchedule, AdvanceReturnsSlotContents) {
   s.add_instance(1, 1);
   s.add_instance(4, 1);
   s.add_instance(2, 2);
-  const std::vector<Segment> slot1 = s.advance();
+  const std::span<const Segment> slot1 = s.advance();
   EXPECT_EQ(s.now(), 1);
   ASSERT_EQ(slot1.size(), 2u);
   EXPECT_EQ(slot1[0], 1);
   EXPECT_EQ(slot1[1], 4);
   EXPECT_EQ(s.total_scheduled(), 1);
-  const std::vector<Segment> slot2 = s.advance();
+  const std::span<const Segment> slot2 = s.advance();
   ASSERT_EQ(slot2.size(), 1u);
   EXPECT_EQ(slot2[0], 2);
   EXPECT_TRUE(s.advance().empty());
@@ -89,7 +91,7 @@ TEST(SlotSchedule, MultipleInstancesOfSameSegmentSorted) {
   s.add_instance(2, 7);
   s.add_instance(2, 3);
   s.add_instance(2, 9);
-  const std::vector<Slot>& v = s.instances_of(2);
+  const std::span<const Slot> v = s.instances_of(2);
   ASSERT_EQ(v.size(), 3u);
   EXPECT_EQ(v[0], 3);
   EXPECT_EQ(v[1], 7);

@@ -1,0 +1,87 @@
+#include "NestedVectorHotPathCheck.h"
+
+#include "VodCheckUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclTemplate.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/Twine.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace vod {
+
+namespace {
+
+constexpr char kDefaultHotPathDirs[] =
+    "src/schedule/;src/core/;src/protocols/;"
+    "fixtures/nested_vector_hot_path";
+
+// The std::vector specialization behind T (through sugar), or null.
+const ClassTemplateSpecializationDecl *asStdVector(QualType T) {
+  const auto *RT = T.getCanonicalType()->getAs<RecordType>();
+  if (RT == nullptr) return nullptr;
+  const auto *Spec = dyn_cast<ClassTemplateSpecializationDecl>(RT->getDecl());
+  if (Spec == nullptr) return nullptr;
+  const NamedDecl *Template = Spec->getSpecializedTemplate();
+  if (Template == nullptr || Template->getName() != "vector") return nullptr;
+  if (!Template->getDeclContext()->getRedeclContext()->isStdNamespace()) {
+    return nullptr;
+  }
+  return Spec;
+}
+
+// True for std::vector<std::vector<...>> (through typedef sugar on both
+// levels).
+bool isNestedVector(QualType T) {
+  const ClassTemplateSpecializationDecl *Outer = asStdVector(T);
+  if (Outer == nullptr || Outer->getTemplateArgs().size() == 0) return false;
+  const TemplateArgument &Elem = Outer->getTemplateArgs()[0];
+  if (Elem.getKind() != TemplateArgument::Type) return false;
+  return asStdVector(Elem.getAsType()) != nullptr;
+}
+
+}  // namespace
+
+NestedVectorHotPathCheck::NestedVectorHotPathCheck(StringRef Name,
+                                                   ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      // Twine round-trip: OptionsView::get returned std::string before
+      // LLVM 16 and StringRef after; Twine swallows both.
+      HotPathDirsRaw(
+          (llvm::Twine() + Options.get("HotPathDirs", kDefaultHotPathDirs))
+              .str()),
+      HotPathDirs(splitOptionList(HotPathDirsRaw)) {}
+
+void NestedVectorHotPathCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "HotPathDirs", HotPathDirsRaw);
+}
+
+void NestedVectorHotPathCheck::registerMatchers(MatchFinder *Finder) {
+  // Every field; the type and location tests live in check() where the
+  // sugar can be unwound with plain AST calls instead of matcher gymnastics.
+  Finder->addMatcher(fieldDecl().bind("field"), this);
+}
+
+void NestedVectorHotPathCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Field = Result.Nodes.getNodeAs<FieldDecl>("field");
+  const SourceManager &SM = *Result.SourceManager;
+  const SourceLocation Loc = Field->getLocation();
+  if (Loc.isInvalid() || Loc.isMacroID()) return;
+  // Scope: only classes declared in the hot-path layers are held to the
+  // slab rule (inApprovedFile is a plain substring test — reused here as
+  // the inclusion filter rather than the escape hatch).
+  if (!inApprovedFile(Loc, SM, HotPathDirs)) return;
+  if (!isNestedVector(Field->getType())) return;
+  diag(Loc,
+       "nested std::vector member %0 in a slot-kernel hot path; store rows "
+       "in a flat capacity-strided slab or CSR layout instead "
+       "(DESIGN.md #14 — one allocation, one stride, no per-row pointer "
+       "chase)")
+      << Field;
+}
+
+}  // namespace vod
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,49 @@
+// vod-nested-vector-hot-path
+//
+// Flags `std::vector<std::vector<...>>` data members declared in the slot
+// kernel's hot-path layers (src/schedule/, src/core/, src/protocols/).
+// The data-oriented kernel (DESIGN.md §14) keeps per-slot and per-segment
+// state in flat capacity-strided slabs or CSR arrays: one allocation, one
+// stride, no pointer chase per row. A nested-vector member reintroduces
+// exactly the allocation churn and cache-hostile layout the slab refactor
+// removed — at 10k schedulers the per-row mallocs dominated wall clock and
+// inverted parallel scaling before the flat layout landed.
+//
+// Local variables, parameters, and members outside the hot-path layers are
+// out of scope: the check polices persistent kernel STATE, not transient
+// build-time scaffolding (e.g. the NPB packer flattens a temporary into
+// CSR — the temporary is fine, a nested member would not be).
+//
+// Options:
+//   HotPathDirs  semicolon list of path substrings whose classes are held
+//                to the slab rule (default: the three kernel layers plus
+//                the check's own fixtures).
+#pragma once
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace vod {
+
+class NestedVectorHotPathCheck : public ClangTidyCheck {
+ public:
+  NestedVectorHotPathCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string HotPathDirsRaw;
+  llvm::SmallVector<llvm::StringRef, 8> HotPathDirs;
+};
+
+}  // namespace vod
+}  // namespace tidy
+}  // namespace clang

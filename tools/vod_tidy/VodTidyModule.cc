@@ -9,6 +9,7 @@
 // for how to add a check.
 #include "FloatSlotAccumulationCheck.h"
 #include "MacroSideEffectsCheck.h"
+#include "NestedVectorHotPathCheck.h"
 #include "RawSlotModuloCheck.h"
 #include "RngDisciplineCheck.h"
 #include "clang-tidy/ClangTidyModule.h"
@@ -27,6 +28,8 @@ class VodTidyModule : public ClangTidyModule {
     CheckFactories.registerCheck<RngDisciplineCheck>("vod-rng-discipline");
     CheckFactories.registerCheck<FloatSlotAccumulationCheck>(
         "vod-float-slot-accumulation");
+    CheckFactories.registerCheck<NestedVectorHotPathCheck>(
+        "vod-nested-vector-hot-path");
   }
 };
 

@@ -1,0 +1,50 @@
+// Negative fixture for vod-nested-vector-hot-path: the flat layouts the
+// check steers toward, plus the transient shapes it must leave alone.
+// This file is inside the check's scope (the fixture path matches the
+// default HotPathDirs) and must produce zero findings.
+namespace std {
+template <typename T>
+class vector {
+ public:
+  vector() : data_(nullptr), size_(0) {}
+  T* data_;
+  unsigned long size_;
+};
+}  // namespace std
+
+namespace vod {
+
+using Slot = long long;
+using Segment = int;
+
+// The slab idiom: capacity-strided row storage plus a length array.
+class FlatRing {
+  std::vector<Segment> contents_;  // row k at contents_[k * cap_]
+  std::vector<int> len_;
+  unsigned long cap_ = 4;
+};
+
+// The CSR idiom: offsets plus one flat entry array.
+struct CsrIndex {
+  std::vector<int> stream_offsets_;
+  std::vector<Slot> entries_;
+};
+
+// A nested vector as a LOCAL is transient build scaffolding, not kernel
+// state — the NPB packer does exactly this before flattening into CSR.
+inline unsigned long pack() {
+  std::vector<std::vector<Slot>> staging;
+  return staging.size_;
+}
+
+// Nested, but not vector-of-vector: element type is a flat struct.
+struct Cell {
+  Slot slot;
+  Segment segment;
+};
+class PooledCells {
+  std::vector<Cell> cells_;
+  std::vector<int> len_;
+};
+
+}  // namespace vod

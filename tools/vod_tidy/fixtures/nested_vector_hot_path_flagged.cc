@@ -1,0 +1,45 @@
+// Positive fixture for vod-nested-vector-hot-path: nested std::vector
+// data members in (what the check's HotPathDirs treats as) a hot-path
+// file must be flagged. Self-contained — fixtures compile with no include
+// paths, so a minimal std::vector stub stands in for <vector>; the check
+// keys on the template's name and namespace, not on the real header.
+namespace std {
+template <typename T>
+class vector {
+ public:
+  vector() : data_(nullptr), size_(0) {}
+  T* data_;
+  unsigned long size_;
+};
+}  // namespace std
+
+namespace vod {
+
+using Slot = long long;
+using Segment = int;
+
+// The pre-slab SlotSchedule shape: one heap block per ring position and
+// per segment row. Exactly what DESIGN.md #14 removed.
+class RingOfRows {
+  std::vector<std::vector<Segment>> contents_;  // LINT-EXPECT: vod-nested-vector-hot-path
+  std::vector<int> loads_;                      // flat: fine
+};
+
+struct PerSegmentIndex {
+  std::vector<std::vector<Slot>> per_segment;  // LINT-EXPECT: vod-nested-vector-hot-path
+};
+
+// Sugar must not hide the nesting: a typedef'd row is still a row.
+using Row = std::vector<Slot>;
+class SugaredRows {
+  std::vector<Row> rows_;  // LINT-EXPECT: vod-nested-vector-hot-path
+};
+
+// Local variables are NOT members — transient build scaffolding is out of
+// scope (the NPB packer flattens a temporary like this into CSR).
+inline unsigned long flatten() {
+  std::vector<std::vector<int>> scratch;
+  return scratch.size_;
+}
+
+}  // namespace vod
